@@ -1,0 +1,272 @@
+// Benchmarks regenerating every table and figure of the paper (one
+// benchmark per artifact), plus ablations and micro-benchmarks of the
+// simulator itself.  Each experiment benchmark reports the measured
+// execution times and imbalances as custom metrics next to the paper's
+// values, so `go test -bench=.` doubles as the reproduction run:
+//
+//	BenchmarkTable4MetBench/caseC-8   1   ...  74.90 paper-exec-s  0.000177 sim-exec-s
+//
+// Shapes (who wins, orderings, inversions) are asserted by the Check*
+// functions; a failed shape fails the benchmark.
+package smtbalance
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/hwpri"
+	"repro/internal/power5"
+	"repro/internal/workload"
+)
+
+// benchOpt is the full documented scale.
+var benchOpt = experiments.Options{Scale: 1.0, TraceWidth: 80}
+
+// reportCases exposes each case's measured and paper numbers as
+// sub-benchmark metrics.
+func reportCases(b *testing.B, cases []experiments.CaseResult) {
+	for _, c := range cases {
+		c := c
+		b.Run("case"+c.Case, func(b *testing.B) {
+			b.ReportMetric(c.ExecSeconds, "sim-exec-s")
+			b.ReportMetric(c.PaperExecSeconds, "paper-exec-s")
+			b.ReportMetric(c.ImbalancePct, "sim-imb-%")
+			b.ReportMetric(c.PaperImbalancePct, "paper-imb-%")
+		})
+	}
+}
+
+// BenchmarkTable1PrioritySemantics measures the pure priority-to-
+// allocation computation of Table I/II semantics (the hot path of the
+// decode stage).
+func BenchmarkTable1PrioritySemantics(b *testing.B) {
+	var sink hwpri.Allocation
+	for i := 0; i < b.N; i++ {
+		sink = hwpri.Alloc(hwpri.Priority(i%5+2), hwpri.Priority((i/5)%5+2))
+	}
+	_ = sink
+}
+
+// BenchmarkTable2DecodeSlots regenerates Table II: the decode-cycle split
+// per priority difference, measured on the simulator.
+func BenchmarkTable2DecodeSlots(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := experiments.CheckTable2(rows); err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(rows[4].MeasuredA*32, "slots-of-32-at-diff4")
+		}
+	}
+}
+
+// BenchmarkTable3SpecialModes regenerates Table III: the priority 0/1
+// regimes.
+func BenchmarkTable3SpecialModes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table3(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := experiments.CheckTable3(rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure1 regenerates the illustrative Figure 1.
+func BenchmarkFigure1(b *testing.B) {
+	var f *experiments.Figure1Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		f, err = experiments.Figure1(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := experiments.CheckFigure1(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*(f.ImbalancedSeconds-f.BalancedSeconds)/f.ImbalancedSeconds, "gain-%")
+}
+
+// BenchmarkTable4MetBench regenerates Table IV / Figure 2 (MetBench cases
+// A-D).  Paper headline: case C improves 8.26% over A; case D regresses.
+func BenchmarkTable4MetBench(b *testing.B) {
+	var cases []experiments.CaseResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		cases, err = experiments.Table4(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := experiments.CheckTable4(cases); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportCases(b, cases)
+}
+
+// BenchmarkTable5BTMZ regenerates Table V / Figure 3 (BT-MZ ST + cases
+// A-D).  Paper headline: case D improves 18.08% over A.
+func BenchmarkTable5BTMZ(b *testing.B) {
+	var cases []experiments.CaseResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		cases, err = experiments.Table5(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := experiments.CheckTable5(cases); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportCases(b, cases)
+}
+
+// BenchmarkTable6SIESTA regenerates Table VI / Figure 4 (SIESTA ST +
+// cases A-D).  Paper headline: case C improves 8.1%; case D loses 13.7%.
+func BenchmarkTable6SIESTA(b *testing.B) {
+	var cases []experiments.CaseResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		cases, err = experiments.Table6(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := experiments.CheckTable6(cases); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportCases(b, cases)
+}
+
+// BenchmarkPrioritySweep measures the Section VII-A Case D observation:
+// the penalized thread's throughput collapses exponentially with the
+// priority difference.
+func BenchmarkPrioritySweep(b *testing.B) {
+	diffs := []struct {
+		name   string
+		pa, pb hwpri.Priority
+	}{
+		{"diff0", 4, 4}, {"diff1", 5, 4}, {"diff2", 6, 4}, {"diff3", 6, 3}, {"diff4", 6, 2},
+	}
+	for _, d := range diffs {
+		d := d
+		b.Run(d.name, func(b *testing.B) {
+			var penalized float64
+			for i := 0; i < b.N; i++ {
+				ch := power5.MustNew(power5.DefaultConfig())
+				ch.SetPriority(0, 0, d.pa)
+				ch.SetPriority(0, 1, d.pb)
+				ch.SetStream(0, 0, workload.Load{Kind: workload.FPU, N: 1 << 62, Seed: 1}.Stream())
+				ch.SetStream(0, 1, workload.Load{Kind: workload.FPU, N: 1 << 62, Seed: 2, Base: 1 << 32}.Stream())
+				ch.Run(100_000)
+				penalized = float64(ch.Stats(0, 1).Completed) / 100_000
+			}
+			b.ReportMetric(penalized, "penalized-IPC")
+		})
+	}
+}
+
+// BenchmarkKernelPatchAblation measures the cost of running the balanced
+// configuration on an unpatched kernel (Section VI motivation).
+func BenchmarkKernelPatchAblation(b *testing.B) {
+	var r *experiments.KernelPatchResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.KernelPatchAblation(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := experiments.CheckKernelPatch(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*(r.VanillaSeconds-r.PatchedSeconds)/r.PatchedSeconds, "vanilla-loss-%")
+}
+
+// BenchmarkDynamicBalancer measures the Section VIII extension: the
+// online balancer against the best static assignment on the
+// moving-bottleneck SIESTA model.
+func BenchmarkDynamicBalancer(b *testing.B) {
+	var r *experiments.DynamicResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.DynamicExtension(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := experiments.CheckDynamic(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*(r.ReferenceSeconds-r.DynamicSeconds)/r.ReferenceSeconds, "dynamic-gain-%")
+	b.ReportMetric(float64(r.Moves), "priority-moves")
+}
+
+// BenchmarkCacheWarmupAblation quantifies the cold-start substitution
+// documented in DESIGN.md: without pre-warming, the scaled-down runs are
+// dominated by cold misses the paper's 80-second runs amortize away.
+func BenchmarkCacheWarmupAblation(b *testing.B) {
+	job := Job{Name: "warmup", Ranks: [][]Phase{
+		{Compute("fpu", 50_000), Barrier()},
+		{Compute("fpu", 50_000), Barrier()},
+		{Compute("fpu", 50_000), Barrier()},
+		{Compute("fpu", 50_000), Barrier()},
+	}}
+	for _, cold := range []bool{false, true} {
+		name := "warm"
+		if cold {
+			name = "cold"
+		}
+		b.Run(name, func(b *testing.B) {
+			var res *Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = Run(job, PinInOrder(4), &Options{NoOSNoise: true, ColdCaches: cold})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Cycles), "sim-cycles")
+		})
+	}
+}
+
+// BenchmarkSimulatorThroughput measures the chip simulator's speed in
+// simulated cycles per wall second — the practical limit on experiment
+// scale.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	ch := power5.MustNew(power5.DefaultConfig())
+	ch.SetStream(0, 0, workload.Load{Kind: workload.Mixed, N: 1 << 62, Seed: 1}.Stream())
+	ch.SetStream(0, 1, workload.Load{Kind: workload.FPU, N: 1 << 62, Seed: 2, Base: 1 << 32}.Stream())
+	ch.SetStream(1, 0, workload.Load{Kind: workload.L2, N: 1 << 62, Seed: 3, Base: 2 << 32}.Stream())
+	ch.SetStream(1, 1, workload.Load{Kind: workload.Spin, Seed: 4, Base: 3 << 32}.Stream())
+	b.ResetTimer()
+	ch.Run(int64(b.N))
+	b.ReportMetric(float64(b.N), "sim-cycles")
+}
+
+// BenchmarkExtrinsicNoise measures the Section II-B scenario: a daemon
+// bound to one CPU imbalances a balanced application, and favoring the
+// victim by one priority step recovers part of the loss transparently.
+func BenchmarkExtrinsicNoise(b *testing.B) {
+	var r *experiments.ExtrinsicResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.ExtrinsicNoise(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := experiments.CheckExtrinsic(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.NoisyImbalance, "noisy-imb-%")
+	b.ReportMetric(100*(r.NoisySeconds-r.CompensatedSeconds)/r.NoisySeconds, "recovered-%")
+}

@@ -1,0 +1,173 @@
+// Command mtbalance reproduces the paper's experiments on the simulated
+// POWER5 machine and prints paper-vs-measured tables.
+//
+// Usage:
+//
+//	mtbalance -experiment table4            # Table IV (MetBench, Figure 2)
+//	mtbalance -experiment table5            # Table V (BT-MZ, Figure 3)
+//	mtbalance -experiment table6            # Table VI (SIESTA, Figure 4)
+//	mtbalance -experiment table2            # Table II (decode slots)
+//	mtbalance -experiment table3            # Table III (priority 0/1 modes)
+//	mtbalance -experiment figure1           # Figure 1 (illustrative)
+//	mtbalance -experiment kernelpatch       # ablation: vanilla vs patched kernel
+//	mtbalance -experiment dynamic           # extension: dynamic OS balancer
+//	mtbalance -experiment extrinsic         # Section II-B: OS-noise imbalance
+//	mtbalance -experiment all               # everything
+//
+// Add -check to fail (exit 1) if any experiment loses the paper's shape,
+// -traces to print the per-case timelines, and -scale to shrink/grow the
+// workloads.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "which experiment to run (table2, table3, table4, table5, table6, figure1, kernelpatch, dynamic, all)")
+		scale      = flag.Float64("scale", 1.0, "workload scale factor")
+		width      = flag.Int("width", 100, "timeline width in columns")
+		traces     = flag.Bool("traces", false, "print per-case timelines (the paper's figures)")
+		check      = flag.Bool("check", false, "verify the paper's shape and exit non-zero on violation")
+	)
+	flag.Parse()
+
+	opt := experiments.Options{Scale: *scale, TraceWidth: *width}
+	failed := 0
+	run := func(name string, f func() error) {
+		if *experiment != "all" && *experiment != name {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			failed++
+		}
+	}
+
+	run("table2", func() error {
+		rows, err := experiments.Table2(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatTable2(rows))
+		if *check {
+			return experiments.CheckTable2(rows)
+		}
+		return nil
+	})
+	run("table3", func() error {
+		rows, err := experiments.Table3(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatTable3(rows))
+		if *check {
+			return experiments.CheckTable3(rows)
+		}
+		return nil
+	})
+	run("figure1", func() error {
+		f, err := experiments.Figure1(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Figure 1(a) — imbalanced application:")
+		fmt.Println(f.ImbalancedTrace)
+		fmt.Println("Figure 1(b) — bottleneck given more hardware resources:")
+		fmt.Println(f.BalancedTrace)
+		fmt.Printf("execution time: %s -> %s (%s)\n\n",
+			metrics.Seconds(f.ImbalancedSeconds), metrics.Seconds(f.BalancedSeconds),
+			metrics.Speedup(f.ImbalancedSeconds, f.BalancedSeconds))
+		if *check {
+			return experiments.CheckFigure1(f)
+		}
+		return nil
+	})
+	caseTable := func(title, ref string, gen func(experiments.Options) ([]experiments.CaseResult, error),
+		chk func([]experiments.CaseResult) error) func() error {
+		return func() error {
+			cases, err := gen(opt)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.FormatCases(title, cases))
+			fmt.Println(experiments.FormatSpeedups(cases, ref))
+			if *traces {
+				for _, c := range cases {
+					fmt.Printf("case %s:\n%s\n", c.Case, c.TraceText)
+				}
+			}
+			if *check {
+				return chk(cases)
+			}
+			return nil
+		}
+	}
+	run("table4", caseTable("Table IV — MetBench (Figure 2)", "A", experiments.Table4, experiments.CheckTable4))
+	run("table5", caseTable("Table V — BT-MZ (Figure 3)", "A", experiments.Table5, experiments.CheckTable5))
+	run("table6", caseTable("Table VI — SIESTA (Figure 4)", "A", experiments.Table6, experiments.CheckTable6))
+	run("kernelpatch", func() error {
+		r, err := experiments.KernelPatchAblation(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Kernel patch ablation (MetBench case C):")
+		fmt.Printf("  patched kernel: %s (imbalance %s)\n",
+			metrics.Seconds(r.PatchedSeconds), metrics.Pct(r.PatchedImbalance))
+		fmt.Printf("  vanilla kernel: %s (imbalance %s) — interrupts reset the priorities\n\n",
+			metrics.Seconds(r.VanillaSeconds), metrics.Pct(r.VanillaImbalance))
+		if *check {
+			return experiments.CheckKernelPatch(r)
+		}
+		return nil
+	})
+	run("extrinsic", func() error {
+		r, err := experiments.ExtrinsicNoise(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Extrinsic imbalance (Section II-B): a daemon bound to rank 0's CPU:")
+		fmt.Printf("  clean run:          %s (imbalance %s)\n",
+			metrics.Seconds(r.CleanSeconds), metrics.Pct(r.CleanImbalance))
+		fmt.Printf("  with daemon:        %s (imbalance %s)\n",
+			metrics.Seconds(r.NoisySeconds), metrics.Pct(r.NoisyImbalance))
+		fmt.Printf("  victim favored +1:  %s (imbalance %s)\n\n",
+			metrics.Seconds(r.CompensatedSeconds), metrics.Pct(r.CompensatedImbalance))
+		if *check {
+			return experiments.CheckExtrinsic(r)
+		}
+		return nil
+	})
+	run("dynamic", func() error {
+		r, err := experiments.DynamicExtension(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Dynamic OS-level balancer (SIESTA with moving bottleneck):")
+		fmt.Printf("  no balancing:       %s\n", metrics.Seconds(r.ReferenceSeconds))
+		fmt.Printf("  static best (C):    %s\n", metrics.Seconds(r.StaticSeconds))
+		fmt.Printf("  dynamic balancer:   %s (%d priority moves)\n\n",
+			metrics.Seconds(r.DynamicSeconds), r.Moves)
+		if *check {
+			return experiments.CheckDynamic(r)
+		}
+		return nil
+	})
+
+	known := map[string]bool{"table2": true, "table3": true, "table4": true, "table5": true,
+		"table6": true, "figure1": true, "kernelpatch": true, "dynamic": true,
+		"extrinsic": true, "all": true}
+	if !known[*experiment] {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,110 @@
+package btmz
+
+import (
+	"testing"
+
+	"repro/internal/hwpri"
+	"repro/internal/mpisim"
+)
+
+func TestWorksFollowZoneWeights(t *testing.T) {
+	cfg := DefaultConfig()
+	w := Works(cfg)
+	if len(w) != 4 {
+		t.Fatalf("works = %v", w)
+	}
+	for i := 1; i < len(w); i++ {
+		if w[i] <= w[i-1] {
+			t.Errorf("zone works not increasing: %v", w)
+		}
+	}
+	if ratio := w[0] / w[3]; ratio > 0.25 {
+		t.Errorf("P1/P4 work ratio %.2f, want the strong Table V skew", ratio)
+	}
+}
+
+func TestJobStructure(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Iterations = 3
+	job := Job(cfg)
+	if len(job.Ranks) != 4 {
+		t.Fatalf("job has %d ranks", len(job.Ranks))
+	}
+	for r, p := range job.Ranks {
+		// compute+exchange per iteration, plus the closing barrier.
+		if len(p) != 2*cfg.Iterations+1 {
+			t.Errorf("rank %d has %d phases", r, len(p))
+		}
+		if p[len(p)-1].Kind != mpisim.PhaseBarrier {
+			t.Errorf("rank %d does not end with a barrier", r)
+		}
+		ex := p[1]
+		if ex.Kind != mpisim.PhaseExchange {
+			t.Fatalf("rank %d phase 1 is %v, want exchange", r, ex.Kind)
+		}
+		if len(ex.Peers) != 2 {
+			t.Errorf("rank %d has %d neighbours, want ring of 2", r, len(ex.Peers))
+		}
+	}
+}
+
+func TestSTJobRing(t *testing.T) {
+	job := Job(STConfig())
+	if len(job.Ranks) != 2 {
+		t.Fatalf("ST job has %d ranks", len(job.Ranks))
+	}
+	ex := job.Ranks[0][1]
+	if len(ex.Peers) != 1 || ex.Peers[0] != 1 {
+		t.Errorf("2-rank ring exchange peers = %v", ex.Peers)
+	}
+}
+
+func TestSTConservesTotalWork(t *testing.T) {
+	var sum4, sum2 float64
+	for _, w := range Works(DefaultConfig()) {
+		sum4 += w
+	}
+	for _, w := range Works(STConfig()) {
+		sum2 += w
+	}
+	if d := sum2/sum4 - 1; d < -0.01 || d > 0.01 {
+		t.Errorf("ST decomposition total work off by %.1f%%", d*100)
+	}
+}
+
+func TestPlacements(t *testing.T) {
+	// Cases B-D pair the heaviest zone (P4) with the lightest (P1).
+	for _, c := range []Case{CaseB, CaseC, CaseD} {
+		pl, err := Placement(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pl.CPU[0]/2 != pl.CPU[3]/2 {
+			t.Errorf("case %s: P1 and P4 not on the same core: %v", c, pl.CPU)
+		}
+		if pl.CPU[1]/2 != pl.CPU[2]/2 {
+			t.Errorf("case %s: P2 and P3 not on the same core: %v", c, pl.CPU)
+		}
+		if pl.Prio[3] <= pl.Prio[0] {
+			t.Errorf("case %s: P4 not favored over P1", c)
+		}
+	}
+	st, err := Placement(CaseST)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.CPU) != 2 || st.Prio[0] != hwpri.VeryHigh {
+		t.Errorf("ST placement = %+v", st)
+	}
+	if st.CPU[0]/2 == st.CPU[1]/2 {
+		t.Error("ST ranks must be on different cores")
+	}
+	if _, err := Placement(Case("Z")); err == nil {
+		t.Error("unknown case accepted")
+	}
+	// Case D: P2/P3 difference is 1, P1/P4 difference is 2 (Table V).
+	d, _ := Placement(CaseD)
+	if int(d.Prio[2])-int(d.Prio[1]) != 1 {
+		t.Errorf("case D: P3-P2 priority difference %d, want 1", int(d.Prio[2])-int(d.Prio[1]))
+	}
+}

@@ -1,0 +1,127 @@
+// Package metbench models MetBench, the BSC micro-benchmark suite of
+// Section VII-A: a master keeping strict synchronization over a set of
+// workers, each executing an assigned load every iteration.  Imbalance is
+// introduced by assigning a larger load to one worker of each core, so the
+// light workers spend most of their time spinning at the barrier.
+//
+// The master exchanges data with the workers only during initialization
+// and coordinates through mpi_barrier(); as in the paper's traces it
+// consumes no measurable CPU, so the model represents it implicitly in the
+// barrier itself and traces the four workers P1-P4 (the processes of
+// Table IV).
+package metbench
+
+import (
+	"repro/internal/hwpri"
+	"repro/internal/mpisim"
+	"repro/internal/workload"
+)
+
+// Config sizes the benchmark.
+type Config struct {
+	// Workers is the number of worker ranks (Table IV uses 4).
+	Workers int
+	// Iterations is the number of master-coordinated iterations.
+	Iterations int
+	// HeavyLoad and LightLoad are the per-iteration instruction counts
+	// of the two load sizes.  The paper's imbalanced setup gives the
+	// heavy worker about 4x the light worker's load (Case A: the light
+	// workers compute 24.3% of the time).
+	HeavyLoad, LightLoad int64
+	// HeavyWorkers marks which ranks receive the heavy load; the paper
+	// puts the heavy workers second on each core (P2 and P4).
+	HeavyWorkers []int
+	// Kind is the load's kernel family (MetBench ships per-resource
+	// loads; FPU is the paper-like default).
+	Kind workload.Kind
+}
+
+// DefaultConfig returns the Table IV geometry at the reproduction's
+// reduced scale.
+func DefaultConfig() Config {
+	return Config{
+		Workers:      4,
+		Iterations:   4,
+		HeavyLoad:    180_000,
+		LightLoad:    40_000,
+		HeavyWorkers: []int{1, 3},
+		Kind:         workload.FPU,
+	}
+}
+
+// Works returns the per-rank per-iteration work (instruction counts) —
+// the input the static planner consumes.
+func Works(cfg Config) []float64 {
+	heavy := map[int]bool{}
+	for _, r := range cfg.HeavyWorkers {
+		heavy[r] = true
+	}
+	w := make([]float64, cfg.Workers)
+	for r := range w {
+		if heavy[r] {
+			w[r] = float64(cfg.HeavyLoad)
+		} else {
+			w[r] = float64(cfg.LightLoad)
+		}
+	}
+	return w
+}
+
+// Job builds the MetBench MPI job.
+func Job(cfg Config) *mpisim.Job {
+	works := Works(cfg)
+	job := &mpisim.Job{Name: "metbench"}
+	for r := 0; r < cfg.Workers; r++ {
+		var p mpisim.Program
+		for i := 0; i < cfg.Iterations; i++ {
+			p = append(p,
+				mpisim.Compute(workload.Load{Kind: cfg.Kind, N: int64(works[r])}),
+				mpisim.Barrier(),
+			)
+		}
+		job.Ranks = append(job.Ranks, p)
+	}
+	return job
+}
+
+// Case identifies a Table IV experiment row.
+type Case string
+
+// The four MetBench cases of Table IV / Figure 2.
+const (
+	// CaseA is the reference: default priorities everywhere.
+	CaseA Case = "A"
+	// CaseB raises the heavy workers to 6 with the light at 5 (diff 1).
+	CaseB Case = "B"
+	// CaseC widens the difference to 2 (6 vs 4) — the balanced case.
+	CaseC Case = "C"
+	// CaseD over-penalizes the light workers (6 vs 3), inverting the
+	// imbalance.
+	CaseD Case = "D"
+)
+
+// Cases lists the Table IV cases in order.
+func Cases() []Case { return []Case{CaseA, CaseB, CaseC, CaseD} }
+
+// Placement returns the Table IV placement for a case: P1,P2 on core 0 and
+// P3,P4 on core 1, with the case's priorities.
+func Placement(c Case) (mpisim.Placement, error) {
+	pl := mpisim.Placement{CPU: []int{0, 1, 2, 3}}
+	switch c {
+	case CaseA:
+		pl.Prio = []hwpri.Priority{4, 4, 4, 4}
+	case CaseB:
+		pl.Prio = []hwpri.Priority{5, 6, 5, 6}
+	case CaseC:
+		pl.Prio = []hwpri.Priority{4, 6, 4, 6}
+	case CaseD:
+		pl.Prio = []hwpri.Priority{3, 6, 3, 6}
+	default:
+		return mpisim.Placement{}, errUnknownCase(c)
+	}
+	return pl, nil
+}
+
+type errUnknownCase Case
+
+func (e errUnknownCase) Error() string { return "metbench: unknown case " + string(e) }

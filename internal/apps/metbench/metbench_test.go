@@ -1,0 +1,91 @@
+package metbench
+
+import (
+	"testing"
+
+	"repro/internal/hwpri"
+	"repro/internal/mpisim"
+)
+
+func TestWorks(t *testing.T) {
+	cfg := DefaultConfig()
+	w := Works(cfg)
+	if len(w) != 4 {
+		t.Fatalf("works = %v", w)
+	}
+	if w[1] != float64(cfg.HeavyLoad) || w[3] != float64(cfg.HeavyLoad) {
+		t.Error("heavy workers P2/P4 not heavy")
+	}
+	if w[0] != float64(cfg.LightLoad) || w[2] != float64(cfg.LightLoad) {
+		t.Error("light workers P1/P3 not light")
+	}
+	if w[1] <= 3*w[0] {
+		t.Errorf("heavy/light ratio %.1f too small for the Table IV imbalance", w[1]/w[0])
+	}
+}
+
+func TestJobStructure(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Iterations = 3
+	job := Job(cfg)
+	if len(job.Ranks) != 4 {
+		t.Fatalf("job has %d ranks", len(job.Ranks))
+	}
+	for r, p := range job.Ranks {
+		if len(p) != 2*cfg.Iterations {
+			t.Errorf("rank %d has %d phases, want %d", r, len(p), 2*cfg.Iterations)
+		}
+		for i := 0; i < len(p); i += 2 {
+			if p[i].Kind != mpisim.PhaseCompute || p[i+1].Kind != mpisim.PhaseBarrier {
+				t.Fatalf("rank %d: unexpected phase kinds at %d", r, i)
+			}
+		}
+	}
+}
+
+func TestPlacements(t *testing.T) {
+	want := map[Case][4]hwpri.Priority{
+		CaseA: {4, 4, 4, 4},
+		CaseB: {5, 6, 5, 6},
+		CaseC: {4, 6, 4, 6},
+		CaseD: {3, 6, 3, 6},
+	}
+	for _, c := range Cases() {
+		pl, err := Placement(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r, p := range pl.Prio {
+			if p != want[c][r] {
+				t.Errorf("case %s rank %d priority %d, want %d", c, r, p, want[c][r])
+			}
+		}
+		// P1,P2 on core 0; P3,P4 on core 1 in every case.
+		if pl.CPU[0]/2 != 0 || pl.CPU[1]/2 != 0 || pl.CPU[2]/2 != 1 || pl.CPU[3]/2 != 1 {
+			t.Errorf("case %s placement %v breaks the Table IV core pairing", c, pl.CPU)
+		}
+	}
+	if _, err := Placement(Case("Z")); err == nil {
+		t.Error("unknown case accepted")
+	}
+}
+
+// The heavy workers must share cores with light workers, one each — the
+// setup that makes priority re-assignment possible at all.
+func TestHeavyLightPairing(t *testing.T) {
+	pl, err := Placement(CaseA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	w := Works(cfg)
+	perCore := map[int][]float64{}
+	for r, cpu := range pl.CPU {
+		perCore[cpu/2] = append(perCore[cpu/2], w[r])
+	}
+	for core, loads := range perCore {
+		if len(loads) != 2 || loads[0] == loads[1] {
+			t.Errorf("core %d loads %v: want one heavy and one light", core, loads)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package siesta
+
+import (
+	"testing"
+
+	"repro/internal/mpisim"
+)
+
+func TestBottleneckSchedule(t *testing.T) {
+	// The last rank must dominate the schedule but not own it.
+	counts := map[int]int{}
+	for i := 0; i < 60; i++ {
+		b := Bottleneck(i, 4)
+		if b < 0 || b > 3 {
+			t.Fatalf("bottleneck %d out of range", b)
+		}
+		counts[b]++
+	}
+	if counts[3] <= counts[0] || counts[3] <= counts[1] || counts[3] <= counts[2] {
+		t.Errorf("P4 not the dominant bottleneck: %v", counts)
+	}
+	moved := 0
+	for r := 0; r < 3; r++ {
+		if counts[r] > 0 {
+			moved++
+		}
+	}
+	if moved < 2 {
+		t.Errorf("bottleneck never visits other ranks: %v", counts)
+	}
+}
+
+func TestIterationWorksVary(t *testing.T) {
+	cfg := DefaultConfig()
+	w0 := IterationWorks(cfg, 0)
+	w1 := IterationWorks(cfg, 1)
+	same := true
+	for r := range w0 {
+		if w0[r] != w1[r] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("iteration works do not vary — SIESTA's defining property is missing")
+	}
+	// The scheduled bottleneck rank must carry the iteration's max work.
+	for i := 0; i < 12; i++ {
+		w := IterationWorks(cfg, i)
+		b := Bottleneck(i, len(w))
+		for r := range w {
+			if r != b && w[r] >= w[b] {
+				t.Errorf("iter %d: rank %d (%.0f) >= bottleneck %d (%.0f)", i, r, w[r], b, w[b])
+			}
+		}
+	}
+}
+
+func TestBottleneckBlock(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BottleneckBlock = 5
+	for i := 0; i < 5; i++ {
+		a := IterationWorks(cfg, i)
+		b := IterationWorks(cfg, 0)
+		for r := range a {
+			if a[r] != b[r] {
+				t.Fatalf("block scheduling broken at iteration %d", i)
+			}
+		}
+	}
+}
+
+func TestMeanWorks(t *testing.T) {
+	cfg := DefaultConfig()
+	mean := MeanWorks(cfg)
+	if len(mean) != 4 {
+		t.Fatalf("mean works = %v", mean)
+	}
+	// P4 must be the heaviest on average; P2 and P3 similar (the paper's
+	// case C insight).
+	if mean[3] <= mean[0] || mean[3] <= mean[1] || mean[3] <= mean[2] {
+		t.Errorf("P4 not heaviest on average: %v", mean)
+	}
+	if d := (mean[2] - mean[1]) / mean[1]; d < 0 || d > 0.25 {
+		t.Errorf("P2/P3 similarity broken: %v", mean)
+	}
+}
+
+func TestJobStructure(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Iterations = 4
+	job := Job(cfg)
+	if len(job.Ranks) != 4 {
+		t.Fatalf("job has %d ranks", len(job.Ranks))
+	}
+	p := job.Ranks[0]
+	// init (2 computes + barrier) + 4 iters (2 computes + exchange +
+	// barrier) + final (2 computes + barrier).
+	want := 3 + 4*4 + 3
+	if len(p) != want {
+		t.Errorf("rank program has %d phases, want %d", len(p), want)
+	}
+	if p[0].Kind != mpisim.PhaseCompute || p[2].Kind != mpisim.PhaseBarrier {
+		t.Error("init phase structure wrong")
+	}
+	if p[len(p)-1].Kind != mpisim.PhaseBarrier {
+		t.Error("program does not end with the final barrier")
+	}
+}
+
+func TestMemFractionSplitsPhases(t *testing.T) {
+	cfg := DefaultConfig()
+	phases := computePhases(cfg, 10000)
+	if len(phases) != 2 {
+		t.Fatalf("got %d phases, want compute+mem", len(phases))
+	}
+	if phases[0].Load.Kind != cfg.Kind {
+		t.Error("first phase not the compute kernel")
+	}
+	cfg.MemFraction = 0
+	if got := computePhases(cfg, 10000); len(got) != 1 || got[0].Load.N != 10000 {
+		t.Errorf("MemFraction 0 phases = %+v", got)
+	}
+}
+
+func TestSTConservesTotalWork(t *testing.T) {
+	cfg, st := DefaultConfig(), STConfig()
+	var sum4, sum2 float64
+	for _, w := range cfg.BaseWeights {
+		sum4 += w
+	}
+	for _, w := range st.BaseWeights {
+		sum2 += w
+	}
+	if d := sum2/sum4 - 1; d < -0.01 || d > 0.01 {
+		t.Errorf("ST decomposition total work off by %.1f%%", d*100)
+	}
+}
+
+func TestPlacements(t *testing.T) {
+	for _, c := range []Case{CaseB, CaseC, CaseD} {
+		pl, err := Placement(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// P2 and P3 share a core; P1 and P4 share the other.
+		if pl.CPU[1]/2 != pl.CPU[2]/2 || pl.CPU[0]/2 != pl.CPU[3]/2 {
+			t.Errorf("case %s pairing wrong: %v", c, pl.CPU)
+		}
+	}
+	c, _ := Placement(CaseC)
+	if c.Prio[1] != c.Prio[2] {
+		t.Error("case C must keep P2 and P3 at equal priority (the paper's fix over case B)")
+	}
+	if c.Prio[3] <= c.Prio[0] {
+		t.Error("case C must favor P4")
+	}
+	d, _ := Placement(CaseD)
+	if int(d.Prio[3])-int(d.Prio[0]) != 2 {
+		t.Errorf("case D P4-P1 difference %d, want 2", int(d.Prio[3])-int(d.Prio[0]))
+	}
+	if _, err := Placement(Case("Z")); err == nil {
+		t.Error("unknown case accepted")
+	}
+}

@@ -1,0 +1,178 @@
+// Package core implements the paper's contribution: balancing an HPC
+// application by re-assigning POWER5 hardware thread priorities (and core
+// placements) so that the most compute-intensive process of each core gets
+// more decode cycles, shrinking the waiting time of every other process
+// (Section IV).
+//
+// Two balancers are provided:
+//
+//   - The static planner (PlanStatic/PlanPair) reproduces what the authors
+//     did by hand for Tables IV-VI: pair heavy ranks with light ranks on
+//     the same core and pick the priority difference whose predicted
+//     finish times are closest, using the decode-share performance model
+//     of Section V-A.
+//
+//   - The dynamic balancer (Dynamic) is the extension the paper proposes
+//     as future work (Section VIII): it observes per-iteration barrier
+//     arrival times through the MPI runtime and retunes priorities online
+//     through the patched kernel's /proc/<PID>/hmt_priority interface,
+//     which is what applications with a moving bottleneck (SIESTA) need.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hwpri"
+)
+
+// Model is the performance model used by the static planner: a rank's
+// throughput is the smaller of its intrinsic demand and its decode-cycle
+// supply, the latter being the Table II share of the DecodeWidth-wide
+// decode stage.
+type Model struct {
+	// DecodeWidth is the decode width of the core (POWER5: 5).
+	DecodeWidth float64
+	// Demand is the unconstrained IPC of a compute-bound rank; the
+	// calibrated kernels sit near 16/6 ≈ 2.7 (see internal/workload).
+	Demand float64
+}
+
+// DefaultModel returns the model matching the calibrated simulator.
+func DefaultModel() Model { return Model{DecodeWidth: 5, Demand: 8.0 / 3.0} }
+
+// speed returns the predicted throughput at decode share s.
+func (m Model) speed(s float64) float64 {
+	supply := s * m.DecodeWidth
+	if supply < m.Demand {
+		return supply
+	}
+	return m.Demand
+}
+
+// SpeedPair predicts the (favored, penalized) throughputs, relative to the
+// equal-priority throughput, for a priority difference d ≥ 0.
+func (m Model) SpeedPair(d int) (favored, penalized float64) {
+	if d < 0 {
+		d = -d
+	}
+	base := m.speed(0.5)
+	if d == 0 {
+		return 1, 1
+	}
+	if d > 4 {
+		d = 4
+	}
+	r := float64(int(1) << (d + 1))
+	return m.speed((r-1)/r) / base, m.speed(1/r) / base
+}
+
+// prioPairs maps a priority difference 0..4 to the (favored, penalized)
+// hardware priorities within the OS-settable range, following the paper's
+// choices (e.g. Case C of Table IV uses 6 and 4 for a difference of 2).
+var prioPairs = [5][2]hwpri.Priority{
+	{hwpri.Medium, hwpri.Medium},     // 0: 4,4
+	{hwpri.MediumHigh, hwpri.Medium}, // 1: 5,4
+	{hwpri.High, hwpri.Medium},       // 2: 6,4
+	{hwpri.High, hwpri.MediumLow},    // 3: 6,3
+	{hwpri.High, hwpri.Low},          // 4: 6,2
+}
+
+// PrioritiesFor returns the (favored, penalized) priorities implementing a
+// difference d in the OS-settable range; d is clamped to [0, 4].
+func PrioritiesFor(d int) (hwpri.Priority, hwpri.Priority) {
+	if d < 0 {
+		d = 0
+	}
+	if d > 4 {
+		d = 4
+	}
+	return prioPairs[d][0], prioPairs[d][1]
+}
+
+// PairPlan is the priority assignment for the two ranks of one core.
+type PairPlan struct {
+	// Diff is the chosen priority difference (0..4).
+	Diff int
+	// HeavyPrio and LightPrio are the hardware priorities for the more
+	// and less loaded rank.
+	HeavyPrio, LightPrio hwpri.Priority
+	// PredictedMakespan is the model's predicted core finish time,
+	// normalized to the heavy rank's equal-priority time.
+	PredictedMakespan float64
+}
+
+// PlanPair picks the priority difference minimizing the predicted core
+// makespan for two ranks with the given relative works (heavy ≥ light not
+// required; works are per-rank compute amounts in any consistent unit).
+func PlanPair(heavyWork, lightWork float64, m Model) PairPlan {
+	if heavyWork < lightWork {
+		heavyWork, lightWork = lightWork, heavyWork
+	}
+	if heavyWork <= 0 {
+		return PairPlan{Diff: 0, HeavyPrio: hwpri.Medium, LightPrio: hwpri.Medium, PredictedMakespan: 0}
+	}
+	best := PairPlan{Diff: -1}
+	for d := 0; d <= 4; d++ {
+		fav, pen := m.SpeedPair(d)
+		tHeavy := heavyWork / fav
+		tLight := lightWork / pen
+		makespan := tHeavy
+		if tLight > makespan {
+			makespan = tLight
+		}
+		makespan /= heavyWork // normalize to heavy equal-priority time
+		if best.Diff < 0 || makespan < best.PredictedMakespan {
+			hi, lo := PrioritiesFor(d)
+			best = PairPlan{Diff: d, HeavyPrio: hi, LightPrio: lo, PredictedMakespan: makespan}
+		}
+	}
+	return best
+}
+
+// StaticPlan is a full placement + priority assignment for a job.
+type StaticPlan struct {
+	// CPU maps rank -> logical CPU.
+	CPU []int
+	// Prio maps rank -> hardware priority.
+	Prio []hwpri.Priority
+	// PredictedMakespan is the model's predicted application finish
+	// time, normalized as in PairPlan.
+	PredictedMakespan float64
+}
+
+// PlanStatic builds a static plan for ranks with the given per-iteration
+// works on a machine with cores 2-way-SMT cores.  It sorts the ranks by
+// work and pairs the heaviest with the lightest on the same core (the
+// paper's BT-MZ strategy: P4 shares a core with P1), then picks each
+// pair's priority difference with PlanPair.
+func PlanStatic(work []float64, cores int, m Model) (StaticPlan, error) {
+	n := len(work)
+	if n == 0 || n%2 != 0 {
+		return StaticPlan{}, fmt.Errorf("core: need an even number of ranks, got %d", n)
+	}
+	if n > 2*cores {
+		return StaticPlan{}, fmt.Errorf("core: %d ranks exceed %d SMT contexts", n, 2*cores)
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return work[order[a]] > work[order[b]] })
+
+	plan := StaticPlan{CPU: make([]int, n), Prio: make([]hwpri.Priority, n)}
+	for pair := 0; pair < n/2; pair++ {
+		heavy := order[pair]
+		light := order[n-1-pair]
+		pp := PlanPair(work[heavy], work[light], m)
+		// Heavy rank on the pair's first context, light on the second.
+		plan.CPU[heavy] = 2 * pair
+		plan.CPU[light] = 2*pair + 1
+		plan.Prio[heavy] = pp.HeavyPrio
+		plan.Prio[light] = pp.LightPrio
+		if pp.PredictedMakespan*work[heavy] > plan.PredictedMakespan {
+			plan.PredictedMakespan = pp.PredictedMakespan * work[heavy]
+		}
+	}
+	return plan, nil
+}

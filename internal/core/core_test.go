@@ -1,0 +1,177 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hwpri"
+)
+
+func TestSpeedPair(t *testing.T) {
+	m := DefaultModel()
+	f0, p0 := m.SpeedPair(0)
+	if f0 != 1 || p0 != 1 {
+		t.Errorf("SpeedPair(0) = %f, %f, want 1, 1", f0, p0)
+	}
+	prevFav, prevPen := f0, p0
+	for d := 1; d <= 4; d++ {
+		fav, pen := m.SpeedPair(d)
+		if fav < prevFav || pen > prevPen {
+			t.Errorf("SpeedPair(%d) = %f, %f not monotone vs %f, %f", d, fav, pen, prevFav, prevPen)
+		}
+		if pen >= 1 {
+			t.Errorf("SpeedPair(%d) penalized %f, want < 1", d, pen)
+		}
+		prevFav, prevPen = fav, pen
+	}
+	// Negative differences behave like their absolute value.
+	fn, pn := m.SpeedPair(-2)
+	f2, p2 := m.SpeedPair(2)
+	if fn != f2 || pn != p2 {
+		t.Error("SpeedPair not symmetric in sign")
+	}
+	// Beyond 4 the mechanism saturates (Table II stops at |X-Y| = 4).
+	f5, p5 := m.SpeedPair(5)
+	f4, p4 := m.SpeedPair(4)
+	if f5 != f4 || p5 != p4 {
+		t.Error("SpeedPair not clamped at difference 4")
+	}
+	// The penalized side collapses exponentially: each step at least
+	// roughly halves the throughput once decode-bound.
+	_, pen2 := m.SpeedPair(2)
+	_, pen3 := m.SpeedPair(3)
+	_, pen4 := m.SpeedPair(4)
+	if pen3 > pen2/1.8 || pen4 > pen3/1.8 {
+		t.Errorf("penalized speeds %f %f %f not collapsing exponentially", pen2, pen3, pen4)
+	}
+}
+
+func TestPrioritiesFor(t *testing.T) {
+	cases := map[int][2]hwpri.Priority{
+		0:  {hwpri.Medium, hwpri.Medium},
+		1:  {hwpri.MediumHigh, hwpri.Medium},
+		2:  {hwpri.High, hwpri.Medium},
+		3:  {hwpri.High, hwpri.MediumLow},
+		4:  {hwpri.High, hwpri.Low},
+		7:  {hwpri.High, hwpri.Low},      // clamped
+		-3: {hwpri.Medium, hwpri.Medium}, // clamped
+	}
+	for d, want := range cases {
+		hi, lo := PrioritiesFor(d)
+		if hi != want[0] || lo != want[1] {
+			t.Errorf("PrioritiesFor(%d) = %v, %v, want %v, %v", d, hi, lo, want[0], want[1])
+		}
+		if int(hi)-int(lo) < 0 {
+			t.Errorf("PrioritiesFor(%d) inverted", d)
+		}
+	}
+	// All planner priorities must be settable by the OS (1..6).
+	for d := 0; d <= 4; d++ {
+		hi, lo := PrioritiesFor(d)
+		for _, p := range []hwpri.Priority{hi, lo} {
+			if !hwpri.CanSet(hwpri.Supervisor, p) {
+				t.Errorf("PrioritiesFor(%d) uses priority %v outside the OS range", d, p)
+			}
+		}
+	}
+}
+
+func TestPlanPairBalanced(t *testing.T) {
+	pp := PlanPair(100, 100, DefaultModel())
+	if pp.Diff != 0 {
+		t.Errorf("equal works got diff %d, want 0", pp.Diff)
+	}
+}
+
+func TestPlanPairSkewed(t *testing.T) {
+	m := DefaultModel()
+	// The paper's MetBench geometry: light rank ~25% of heavy.  The
+	// simulator's Case C (diff 2) was the balanced one; the model must
+	// find a nonzero moderate difference.
+	pp := PlanPair(100, 25, m)
+	if pp.Diff < 1 || pp.Diff > 3 {
+		t.Errorf("4x skew planned diff %d, want 1..3", pp.Diff)
+	}
+	if pp.HeavyPrio <= pp.LightPrio {
+		t.Error("heavy rank not favored")
+	}
+	// Argument order must not matter.
+	if rev := PlanPair(25, 100, m); rev != pp {
+		t.Errorf("PlanPair not symmetric: %+v vs %+v", rev, pp)
+	}
+}
+
+func TestPlanPairExtremeSkewClamped(t *testing.T) {
+	pp := PlanPair(100, 0.01, DefaultModel())
+	if pp.Diff > 4 {
+		t.Errorf("diff %d exceeds the architectural range", pp.Diff)
+	}
+	if pp.PredictedMakespan <= 0 {
+		t.Error("no makespan predicted")
+	}
+	if zero := PlanPair(0, 0, DefaultModel()); zero.Diff != 0 {
+		t.Error("zero work must plan diff 0")
+	}
+}
+
+// Property: PlanPair never predicts a makespan worse than doing nothing
+// (diff 0 is always a candidate).
+func TestPropPlanPairNeverHurts(t *testing.T) {
+	m := DefaultModel()
+	f := func(h, l uint16) bool {
+		heavy, light := float64(h)+1, float64(l)+1
+		if heavy < light {
+			heavy, light = light, heavy
+		}
+		pp := PlanPair(heavy, light, m)
+		return pp.PredictedMakespan <= 1.0+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlanStatic(t *testing.T) {
+	m := DefaultModel()
+	// BT-MZ-like works (Table V zone skew).
+	work := []float64{18, 29, 67, 100}
+	plan, err := PlanStatic(work, 2, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Heaviest (rank 3) must share a core with lightest (rank 0), like
+	// the paper pairing P4 with P1.
+	if plan.CPU[3]/2 != plan.CPU[0]/2 {
+		t.Errorf("heaviest and lightest not paired: CPUs %v", plan.CPU)
+	}
+	if plan.CPU[1]/2 != plan.CPU[2]/2 {
+		t.Errorf("middle ranks not paired: CPUs %v", plan.CPU)
+	}
+	if plan.Prio[3] <= plan.Prio[0] {
+		t.Error("heaviest rank not favored over lightest")
+	}
+	if plan.Prio[2] < plan.Prio[1] {
+		t.Error("heavier middle rank not favored")
+	}
+	// All CPUs distinct.
+	seen := map[int]bool{}
+	for _, c := range plan.CPU {
+		if seen[c] {
+			t.Fatalf("CPU %d assigned twice", c)
+		}
+		seen[c] = true
+	}
+}
+
+func TestPlanStaticErrors(t *testing.T) {
+	m := DefaultModel()
+	if _, err := PlanStatic(nil, 2, m); err == nil {
+		t.Error("empty works accepted")
+	}
+	if _, err := PlanStatic([]float64{1, 2, 3}, 2, m); err == nil {
+		t.Error("odd rank count accepted")
+	}
+	if _, err := PlanStatic([]float64{1, 2, 3, 4, 5, 6}, 2, m); err == nil {
+		t.Error("more ranks than contexts accepted")
+	}
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"repro/internal/hwpri"
+	"repro/internal/mpisim"
+)
+
+// DynamicConfig parameterizes the online balancer.
+type DynamicConfig struct {
+	// CPU maps rank -> logical CPU (the job's placement); ranks sharing
+	// a core (cpu/2) form a balancing pair.
+	CPU []int
+	// Threshold is the relative arrival gap (gap / iteration length)
+	// above which the balancer reacts.  Default 0.05.
+	Threshold float64
+	// MaxDiff bounds the priority difference; the paper's Case D results
+	// (Section VII-A) show the penalty grows exponentially, so the
+	// default stays at 3.
+	MaxDiff int
+	// Hysteresis is the number of consecutive iterations the imbalance
+	// must point the same way before the balancer moves, damping
+	// oscillation and startup transients.  Default 2.
+	Hysteresis int
+}
+
+// Dynamic is the online balancer: attach its OnIteration method to
+// mpisim.Config.OnIteration.  At every barrier release it compares the
+// arrival times of the two ranks of each core; if one rank consistently
+// arrives late, the balancer raises the priority difference in its favor
+// through the patched kernel's procfs interface, and backs off when the
+// imbalance inverts.  It is application-agnostic and fully transparent —
+// exactly the OS-level mechanism the paper argues for in Section VIII.
+type Dynamic struct {
+	cfg   DynamicConfig
+	pairs [][2]int // rank pairs sharing a core
+	// diff is the current signed priority difference per pair: positive
+	// favors pairs[i][0].
+	diff []int
+	// streak counts consecutive iterations the imbalance pointed in
+	// lastDir's direction.
+	streak  []int
+	lastDir []int
+	// lastRelease is the previous barrier release cycle.
+	lastRelease int64
+	// Moves counts priority rewrites performed (for reporting).
+	Moves int
+}
+
+// NewDynamic builds a dynamic balancer for the given placement.
+func NewDynamic(cfg DynamicConfig) *Dynamic {
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 0.05
+	}
+	if cfg.MaxDiff <= 0 {
+		cfg.MaxDiff = 3
+	}
+	if cfg.MaxDiff > 4 {
+		cfg.MaxDiff = 4
+	}
+	if cfg.Hysteresis <= 0 {
+		cfg.Hysteresis = 2
+	}
+	d := &Dynamic{cfg: cfg}
+	byCore := map[int][]int{}
+	for rank, cpu := range cfg.CPU {
+		byCore[cpu/2] = append(byCore[cpu/2], rank)
+	}
+	for core := 0; core < len(cfg.CPU); core++ {
+		if ranks := byCore[core]; len(ranks) == 2 {
+			d.pairs = append(d.pairs, [2]int{ranks[0], ranks[1]})
+		}
+	}
+	d.diff = make([]int, len(d.pairs))
+	d.streak = make([]int, len(d.pairs))
+	d.lastDir = make([]int, len(d.pairs))
+	return d
+}
+
+// Pairs returns the rank pairs the balancer manages.
+func (d *Dynamic) Pairs() [][2]int { return d.pairs }
+
+// Diffs returns the current signed priority difference per pair.
+func (d *Dynamic) Diffs() []int { return append([]int(nil), d.diff...) }
+
+// OnIteration implements the mpisim iteration hook.
+func (d *Dynamic) OnIteration(ev mpisim.IterationEvent) {
+	iterLen := ev.Release - d.lastRelease
+	d.lastRelease = ev.Release
+	if iterLen <= 0 {
+		return
+	}
+	for i, pair := range d.pairs {
+		a, b := pair[0], pair[1]
+		// Prefer the per-rank computation time (what the paper's OS
+		// balancer would sample); barrier arrival can be synchronized
+		// by exchange coupling and carries no per-rank signal then.
+		signal := ev.ComputeCycles
+		if signal == nil {
+			signal = ev.Arrival
+		}
+		gap := float64(signal[a]-signal[b]) / float64(iterLen)
+		// gap > 0: rank a is the pair's bottleneck.
+		dir := 0
+		switch {
+		case gap > d.cfg.Threshold:
+			dir = 1
+		case gap < -d.cfg.Threshold:
+			dir = -1
+		}
+		if dir == 0 {
+			d.streak[i], d.lastDir[i] = 0, 0
+			continue
+		}
+		if dir != d.lastDir[i] {
+			d.lastDir[i] = dir
+			d.streak[i] = 1
+		} else {
+			d.streak[i]++
+		}
+		if d.streak[i] < d.cfg.Hysteresis {
+			continue
+		}
+		d.streak[i] = 0
+		want := d.diff[i] + dir
+		if want > d.cfg.MaxDiff {
+			want = d.cfg.MaxDiff
+		}
+		if want < -d.cfg.MaxDiff {
+			want = -d.cfg.MaxDiff
+		}
+		if want == d.diff[i] {
+			continue
+		}
+		d.diff[i] = want
+		d.apply(ev, i)
+	}
+}
+
+// apply writes the pair's current priorities through procfs.
+func (d *Dynamic) apply(ev mpisim.IterationEvent, i int) {
+	a, b := d.pairs[i][0], d.pairs[i][1]
+	diff := d.diff[i]
+	var pa, pb hwpri.Priority
+	if diff >= 0 {
+		pa, pb = PrioritiesFor(diff)
+	} else {
+		pb, pa = PrioritiesFor(-diff)
+	}
+	// Best effort: on a vanilla kernel the file does not exist and the
+	// balancer is inert, as in reality.
+	if err := ev.Kernel.WriteHMTPriority(ev.PIDs[a], pa); err != nil {
+		return
+	}
+	if err := ev.Kernel.WriteHMTPriority(ev.PIDs[b], pb); err != nil {
+		return
+	}
+	d.Moves++
+}

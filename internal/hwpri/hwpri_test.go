@@ -1,0 +1,304 @@
+package hwpri
+
+import (
+	"testing"
+)
+
+// TestTableI_PrivilegeLevels checks every row of Table I: which privilege
+// level is required to set each hardware priority.
+func TestTableI_PrivilegeLevels(t *testing.T) {
+	want := map[Priority]Privilege{
+		ThreadOff:  Hypervisor,
+		VeryLow:    Supervisor,
+		Low:        ProblemState,
+		MediumLow:  ProblemState,
+		Medium:     ProblemState,
+		MediumHigh: Supervisor,
+		High:       Supervisor,
+		VeryHigh:   Hypervisor,
+	}
+	for p, priv := range want {
+		if got := MinPrivilege(p); got != priv {
+			t.Errorf("MinPrivilege(%v) = %v, want %v", p, got, priv)
+		}
+	}
+}
+
+// TestTableI_OrNopEncodings checks the or-nop register numbers of Table I.
+func TestTableI_OrNopEncodings(t *testing.T) {
+	want := map[Priority]uint8{
+		VeryLow:    31,
+		Low:        1,
+		MediumLow:  6,
+		Medium:     2,
+		MediumHigh: 5,
+		High:       3,
+		VeryHigh:   7,
+	}
+	for p, reg := range want {
+		o, ok := p.OrNop()
+		if !ok {
+			t.Errorf("%v.OrNop() reported no encoding", p)
+			continue
+		}
+		if o.Reg != reg {
+			t.Errorf("%v.OrNop() = or %d,..., want or %d,...", p, o.Reg, reg)
+		}
+		back, ok := FromOrNop(o)
+		if !ok || back != p {
+			t.Errorf("FromOrNop(%v) = %v,%v, want %v,true", o, back, ok, p)
+		}
+	}
+	if _, ok := ThreadOff.OrNop(); ok {
+		t.Error("ThreadOff must not have an or-nop encoding")
+	}
+}
+
+func TestFromOrNopUnknownRegister(t *testing.T) {
+	for _, reg := range []uint8{0, 4, 8, 9, 15, 30} {
+		if p, ok := FromOrNop(OrNop{Reg: reg}); ok {
+			t.Errorf("FromOrNop(or %d,...) = %v, want a true no-op", reg, p)
+		}
+	}
+}
+
+// TestCanSet verifies the privilege lattice: user ⊂ supervisor ⊂ hypervisor.
+func TestCanSet(t *testing.T) {
+	userOK := map[Priority]bool{Low: true, MediumLow: true, Medium: true}
+	supervisorOK := map[Priority]bool{
+		VeryLow: true, Low: true, MediumLow: true,
+		Medium: true, MediumHigh: true, High: true,
+	}
+	for p := Priority(0); p < NumPriorities; p++ {
+		if got := CanSet(ProblemState, p); got != userOK[p] {
+			t.Errorf("CanSet(user, %v) = %v, want %v", p, got, userOK[p])
+		}
+		if got := CanSet(Supervisor, p); got != supervisorOK[p] {
+			t.Errorf("CanSet(supervisor, %v) = %v, want %v", p, got, supervisorOK[p])
+		}
+		if !CanSet(Hypervisor, p) {
+			t.Errorf("CanSet(hypervisor, %v) = false, want true", p)
+		}
+	}
+	if CanSet(ProblemState, Priority(99)) {
+		t.Error("CanSet must reject invalid priorities")
+	}
+}
+
+// TestTableII_R checks R = 2^(|X-Y|+1) for differences 0..4 (Table II).
+func TestTableII_R(t *testing.T) {
+	wantR := []int{2, 4, 8, 16, 32} // indexed by |X-Y|
+	for x := Priority(2); x <= High; x++ {
+		for y := Priority(2); y <= High; y++ {
+			d := int(x) - int(y)
+			if d < 0 {
+				d = -d
+			}
+			if got := R(x, y); got != wantR[d] {
+				t.Errorf("R(%d,%d) = %d, want %d", x, y, got, wantR[d])
+			}
+		}
+	}
+}
+
+// TestTableII_DecodeCycles checks the decode-cycle split for every
+// difference row of Table II.
+func TestTableII_DecodeCycles(t *testing.T) {
+	cases := []struct {
+		x, y              Priority
+		r, slotsX, slotsY int
+	}{
+		{4, 4, 2, 1, 1},
+		{4, 3, 4, 3, 1},
+		{5, 3, 8, 7, 1},
+		{6, 3, 16, 15, 1},
+		{6, 2, 32, 31, 1},
+		{2, 6, 32, 1, 31},
+		{3, 5, 8, 1, 7},
+	}
+	for _, c := range cases {
+		al := Alloc(c.x, c.y)
+		if al.Mode != ModeShared {
+			t.Errorf("Alloc(%d,%d).Mode = %v, want shared", c.x, c.y, al.Mode)
+			continue
+		}
+		if al.Period != c.r || al.Slots[0] != c.slotsX || al.Slots[1] != c.slotsY {
+			t.Errorf("Alloc(%d,%d) = period %d slots %v, want period %d slots [%d %d]",
+				c.x, c.y, al.Period, al.Slots, c.r, c.slotsX, c.slotsY)
+		}
+	}
+}
+
+// TestTableIII_SpecialRows checks every row of Table III.
+func TestTableIII_SpecialRows(t *testing.T) {
+	cases := []struct {
+		a, b    Priority
+		mode    Mode
+		favored int
+	}{
+		{1, 4, ModeLeftover, 1}, // ThreadB gets all resources, A leftover
+		{4, 1, ModeLeftover, 0},
+		{1, 1, ModePowerSave, -1},   // both 1 of 64
+		{0, 4, ModeSingleThread, 1}, // ST mode
+		{4, 0, ModeSingleThread, 0},
+		{0, 1, ModeThrottled, 1}, // 1 of 32 for B
+		{1, 0, ModeThrottled, 0},
+		{0, 0, ModeStopped, -1},
+	}
+	for _, c := range cases {
+		al := Alloc(c.a, c.b)
+		if al.Mode != c.mode || al.Favored != c.favored {
+			t.Errorf("Alloc(%d,%d) = mode %v favored %d, want mode %v favored %d",
+				c.a, c.b, al.Mode, al.Favored, c.mode, c.favored)
+		}
+	}
+	if p := Alloc(1, 1).Period; p != 64 {
+		t.Errorf("power save period = %d, want 64", p)
+	}
+	if p := Alloc(0, 1).Period; p != 32 {
+		t.Errorf("throttled period = %d, want 32", p)
+	}
+}
+
+// TestOwnerDistribution verifies that over one arbitration window the
+// decode-owner distribution matches the Table II slot counts exactly when
+// neither context is blocked.
+func TestOwnerDistribution(t *testing.T) {
+	for x := Priority(2); x <= High; x++ {
+		for y := Priority(2); y <= High; y++ {
+			al := Alloc(x, y)
+			counts := [2]int{}
+			for c := int64(0); c < int64(al.Period); c++ {
+				owner := al.Owner(c, [2]bool{})
+				if owner < 0 {
+					t.Fatalf("Alloc(%d,%d).Owner(%d) = -1 with both ready", x, y, c)
+				}
+				counts[owner]++
+			}
+			if counts != al.Slots {
+				t.Errorf("Alloc(%d,%d): owner counts %v != slots %v", x, y, counts, al.Slots)
+			}
+		}
+	}
+}
+
+// TestOwnerStealing: a blocked owner's slot is given to the sibling in
+// shared and leftover modes, and wasted in power-save/throttled modes.
+func TestOwnerStealing(t *testing.T) {
+	al := Alloc(6, 2) // A favored 31:1
+	for c := int64(0); c < 64; c++ {
+		if got := al.Owner(c, [2]bool{true, false}); got != 1 {
+			t.Fatalf("shared: cycle %d owner = %d with A blocked, want 1", c, got)
+		}
+	}
+	lo := Alloc(1, 4) // B favored, A leftover
+	if got := lo.Owner(0, [2]bool{false, false}); got != 1 {
+		t.Errorf("leftover: owner = %d with both ready, want favored 1", got)
+	}
+	if got := lo.Owner(0, [2]bool{false, true}); got != 0 {
+		t.Errorf("leftover: owner = %d with favored blocked, want leftover thread 0", got)
+	}
+	ps := Alloc(1, 1)
+	if got := ps.Owner(0, [2]bool{true, false}); got != -1 {
+		t.Errorf("power save: owner = %d with slot owner blocked, want -1 (no stealing)", got)
+	}
+	th := Alloc(0, 1)
+	if got := th.Owner(0, [2]bool{false, true}); got != -1 {
+		t.Errorf("throttled: owner = %d with survivor blocked, want -1", got)
+	}
+	if got := th.Owner(1, [2]bool{false, false}); got != -1 {
+		t.Errorf("throttled: owner = %d off-slot, want -1", got)
+	}
+}
+
+// TestOwnerBothBlocked: nobody decodes when both contexts are blocked.
+func TestOwnerBothBlocked(t *testing.T) {
+	for a := Priority(0); a < NumPriorities; a++ {
+		for b := Priority(0); b < NumPriorities; b++ {
+			al := Alloc(a, b)
+			for c := int64(0); c < 70; c++ {
+				if got := al.Owner(c, [2]bool{true, true}); got != -1 {
+					t.Fatalf("Alloc(%d,%d).Owner(%d) = %d with both blocked", a, b, c, got)
+				}
+			}
+		}
+	}
+}
+
+// TestShare spot-checks the static decode shares used by the balancer model.
+func TestShare(t *testing.T) {
+	cases := []struct {
+		a, b   Priority
+		share0 float64
+	}{
+		{4, 4, 0.5},
+		{5, 4, 0.75},
+		{6, 4, 0.875},
+		{6, 3, 15.0 / 16.0},
+		{6, 2, 31.0 / 32.0},
+		{2, 6, 1.0 / 32.0},
+		{0, 4, 0},
+		{4, 0, 1},
+		{1, 1, 1.0 / 64.0},
+		{0, 0, 0},
+	}
+	for _, c := range cases {
+		al := Alloc(c.a, c.b)
+		if got := al.Share(0); !almost(got, c.share0) {
+			t.Errorf("Alloc(%d,%d).Share(0) = %g, want %g", c.a, c.b, got, c.share0)
+		}
+		if al.Mode == ModeShared {
+			if s := al.Share(0) + al.Share(1); !almost(s, 1) {
+				t.Errorf("Alloc(%d,%d) shares sum %g, want 1", c.a, c.b, s)
+			}
+		}
+	}
+}
+
+func almost(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-12
+}
+
+func TestStringers(t *testing.T) {
+	if Medium.String() != "medium" || VeryHigh.String() != "very-high" {
+		t.Error("Priority.String mismatch")
+	}
+	if Priority(12).String() == "" {
+		t.Error("invalid priority must still format")
+	}
+	for _, m := range []Mode{ModeShared, ModeLeftover, ModePowerSave, ModeSingleThread, ModeThrottled, ModeStopped} {
+		if m.String() == "" {
+			t.Errorf("mode %d has empty name", m)
+		}
+	}
+	if ProblemState.String() != "user" || Supervisor.String() != "supervisor" {
+		t.Error("Privilege.String mismatch")
+	}
+	if (OrNop{Reg: 31}).String() != "or 31,31,31" {
+		t.Error("OrNop.String mismatch")
+	}
+	for a := Priority(0); a < NumPriorities; a++ {
+		for b := Priority(0); b < NumPriorities; b++ {
+			if Alloc(a, b).Describe() == "" {
+				t.Fatalf("Alloc(%d,%d).Describe() empty", a, b)
+			}
+		}
+	}
+}
+
+func TestInvalidPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("R", func() { R(8, 4) })
+	mustPanic("Alloc", func() { Alloc(4, 9) })
+}

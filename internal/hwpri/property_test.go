@@ -1,0 +1,143 @@
+package hwpri
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// priPair constrains quick-generated values to valid priority pairs.
+func priPair(a, b uint8) (Priority, Priority) {
+	return Priority(a % NumPriorities), Priority(b % NumPriorities)
+}
+
+// Property: swapping the priority pair mirrors the allocation.
+func TestPropAllocSymmetry(t *testing.T) {
+	f := func(ra, rb uint8) bool {
+		a, b := priPair(ra, rb)
+		x, y := Alloc(a, b), Alloc(b, a)
+		if x.Mode != y.Mode || x.Period != y.Period {
+			return false
+		}
+		if x.Slots[0] != y.Slots[1] || x.Slots[1] != y.Slots[0] {
+			return false
+		}
+		switch {
+		case x.Favored == -1:
+			return y.Favored == -1
+		default:
+			return y.Favored == 1-x.Favored
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: in shared mode the slots sum to the period, the low-priority
+// thread always gets exactly 1, and the shares sum to 1.
+func TestPropSharedSlots(t *testing.T) {
+	f := func(ra, rb uint8) bool {
+		a, b := priPair(ra, rb)
+		al := Alloc(a, b)
+		if al.Mode != ModeShared {
+			return true
+		}
+		if al.Slots[0]+al.Slots[1] != al.Period {
+			return false
+		}
+		if a != b {
+			low := 1 - al.Favored
+			if al.Slots[low] != 1 {
+				return false
+			}
+		}
+		return almost(al.Share(0)+al.Share(1), 1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Owner never returns a blocked context, and returns -1 only
+// when the mode demands idle cycles or all ready contexts are exhausted.
+func TestPropOwnerNeverBlocked(t *testing.T) {
+	f := func(ra, rb uint8, cyc uint32, b0, b1 bool) bool {
+		a, b := priPair(ra, rb)
+		al := Alloc(a, b)
+		owner := al.Owner(int64(cyc), [2]bool{b0, b1})
+		if owner < -1 || owner > 1 {
+			return false
+		}
+		if owner >= 0 && [2]bool{b0, b1}[owner] {
+			return false
+		}
+		// In shared/leftover/single-thread modes with at least one
+		// ready context, a decode slot must never be wasted —
+		// except that only the favored thread runs in ST mode.
+		switch al.Mode {
+		case ModeShared, ModeLeftover:
+			if !(b0 && b1) && owner == -1 {
+				return false
+			}
+		case ModeSingleThread:
+			if ![2]bool{b0, b1}[al.Favored] && owner != al.Favored {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: increasing the priority distance never decreases the favored
+// thread's share and never increases the penalized thread's share.
+func TestPropShareMonotonic(t *testing.T) {
+	for base := Priority(2); base <= Medium; base++ {
+		prevHi, prevLo := 0.5, 0.5
+		for hi := base; hi <= High; hi++ {
+			al := Alloc(hi, base)
+			hiShare, loShare := al.Share(0), al.Share(1)
+			if hiShare < prevHi || loShare > prevLo {
+				t.Fatalf("shares not monotonic at (%d,%d): hi %g (prev %g) lo %g (prev %g)",
+					hi, base, hiShare, prevHi, loShare, prevLo)
+			}
+			prevHi, prevLo = hiShare, loShare
+		}
+	}
+}
+
+// Property: the or-nop round trip is the identity for priorities 1..7.
+func TestPropOrNopRoundTrip(t *testing.T) {
+	f := func(raw uint8) bool {
+		p := Priority(raw%7) + 1 // 1..7
+		o, ok := p.OrNop()
+		if !ok {
+			return false
+		}
+		back, ok := FromOrNop(o)
+		return ok && back == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Owner is periodic with the allocation period (when defined and
+// both contexts are ready), so the arbitration has no long-term drift.
+func TestPropOwnerPeriodic(t *testing.T) {
+	f := func(ra, rb uint8, cyc uint16) bool {
+		a, b := priPair(ra, rb)
+		al := Alloc(a, b)
+		if al.Period == 0 {
+			return true
+		}
+		c := int64(cyc)
+		p := int64(al.Period)
+		return al.Owner(c, [2]bool{}) == al.Owner(c+p, [2]bool{})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}

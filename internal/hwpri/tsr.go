@@ -1,0 +1,39 @@
+package hwpri
+
+// The POWER5 exposes a second interface to the thread priority besides
+// the or-nop instructions (Section V-B of the paper): the per-thread
+// Thread Status Register.  Software with sufficient privilege writes the
+// priority into the local TSR with mtspr and reads it back with mfspr.
+// This file models the TSR encoding and its privilege rules; the chip
+// simulator exposes the register through ReadTSR/WriteTSR.
+
+// TSR is the Thread Status Register value of one hardware thread context.
+// Bits [31:29] hold the thread priority; the remaining bits are reserved
+// and read as zero in this model.
+type TSR uint32
+
+// tsrPrioShift positions the priority field in the register.
+const tsrPrioShift = 29
+
+// TSRFromPriority encodes a priority into a TSR value.
+func TSRFromPriority(p Priority) TSR {
+	return TSR(uint32(p&0x7) << tsrPrioShift)
+}
+
+// Priority extracts the thread priority field.
+func (t TSR) Priority() Priority {
+	return Priority((uint32(t) >> tsrPrioShift) & 0x7)
+}
+
+// WriteTSR computes the effect of an mtspr to the TSR at the given
+// privilege: the priority field is updated only if the privilege level
+// allows the requested priority (an insufficiently privileged write is
+// silently ignored by the hardware, like an or-nop).  It returns the new
+// effective priority and whether the write took effect.
+func WriteTSR(current Priority, t TSR, priv Privilege) (Priority, bool) {
+	want := t.Priority()
+	if !CanSet(priv, want) {
+		return current, false
+	}
+	return want, true
+}

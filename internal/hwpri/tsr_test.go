@@ -1,0 +1,62 @@
+package hwpri
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTSRRoundTrip(t *testing.T) {
+	for p := Priority(0); p < NumPriorities; p++ {
+		if got := TSRFromPriority(p).Priority(); got != p {
+			t.Errorf("TSR round trip of %v gives %v", p, got)
+		}
+	}
+}
+
+func TestWriteTSRPrivilege(t *testing.T) {
+	// User writes: only 2..4 take effect.
+	for p := Priority(0); p < NumPriorities; p++ {
+		got, ok := WriteTSR(Medium, TSRFromPriority(p), ProblemState)
+		wantOK := p >= Low && p <= Medium
+		if ok != wantOK {
+			t.Errorf("user mtspr of %v: ok = %v, want %v", p, ok, wantOK)
+		}
+		if !ok && got != Medium {
+			t.Errorf("rejected write changed priority to %v", got)
+		}
+		if ok && got != p {
+			t.Errorf("accepted write gave %v, want %v", got, p)
+		}
+	}
+	// Supervisor reaches 1..6, hypervisor everything.
+	if _, ok := WriteTSR(Medium, TSRFromPriority(High), Supervisor); !ok {
+		t.Error("supervisor mtspr of high rejected")
+	}
+	if _, ok := WriteTSR(Medium, TSRFromPriority(ThreadOff), Supervisor); ok {
+		t.Error("supervisor mtspr of thread-off accepted")
+	}
+	if _, ok := WriteTSR(Medium, TSRFromPriority(VeryHigh), Hypervisor); !ok {
+		t.Error("hypervisor mtspr of very-high rejected")
+	}
+}
+
+// Property: a TSR write either leaves the priority unchanged (rejected)
+// or sets exactly the requested priority, and acceptance matches CanSet.
+func TestPropWriteTSR(t *testing.T) {
+	f := func(cur, want, priv uint8) bool {
+		current := Priority(cur % NumPriorities)
+		requested := Priority(want % NumPriorities)
+		privilege := Privilege(priv % 3)
+		got, ok := WriteTSR(current, TSRFromPriority(requested), privilege)
+		if ok != CanSet(privilege, requested) {
+			return false
+		}
+		if ok {
+			return got == requested
+		}
+		return got == current
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

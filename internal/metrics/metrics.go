@@ -1,0 +1,112 @@
+// Package metrics provides small reporting helpers shared by the
+// experiment harness and the CLI tools: aligned text tables in the style
+// of the paper's Tables IV-VI, and paper-vs-measured comparison
+// formatting.
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	// Title is printed above the table.
+	Title string
+	// Headers is the column header row.
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; missing cells are blank, extra cells are dropped.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	width := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		width[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	total := len(t.Headers)*2 - 2
+	for _, w := range width {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// Pct formats a percentage with two decimals.
+func Pct(x float64) string { return fmt.Sprintf("%.2f%%", x) }
+
+// Seconds formats a duration in seconds with adaptive precision (the
+// simulated runs are milliseconds; the paper's were tens of seconds).
+func Seconds(s float64) string {
+	switch {
+	case s >= 1:
+		return fmt.Sprintf("%.2fs", s)
+	case s >= 1e-3:
+		return fmt.Sprintf("%.3fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.1fµs", s*1e6)
+	}
+}
+
+// RelDiff formats the relative difference of b versus a in percent
+// (positive means b is larger).
+func RelDiff(a, b float64) string {
+	if a == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(b-a)/a)
+}
+
+// Speedup formats the improvement of new over base as the paper reports
+// it: positive percent improvement of total execution time.
+func Speedup(base, new float64) string {
+	if base == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.2f%%", 100*(base-new)/base)
+}

@@ -1,0 +1,76 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable(t *testing.T) {
+	tb := NewTable("title", "a", "bb", "c")
+	tb.AddRow("1", "2", "3")
+	tb.AddRow("longer", "x") // short row padded
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "title") {
+		t.Error("title missing")
+	}
+	// Columns align: the header and rows start each column at the same
+	// offset.
+	if idx := strings.Index(lines[1], "bb"); idx < 0 || !strings.HasPrefix(lines[3][idx:], "2") {
+		t.Errorf("columns not aligned:\n%s", out)
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tb := NewTable("", "x")
+	tb.AddRow("1")
+	if strings.HasPrefix(tb.String(), "\n") {
+		t.Error("empty title produced a leading blank line")
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(12.345); got != "12.35%" {
+		t.Errorf("Pct = %q", got)
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	cases := map[float64]string{
+		2.5:      "2.50s",
+		0.0031:   "3.100ms",
+		0.000002: "2.0µs",
+	}
+	for in, want := range cases {
+		if got := Seconds(in); got != want {
+			t.Errorf("Seconds(%g) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRelDiff(t *testing.T) {
+	if got := RelDiff(100, 110); got != "+10.0%" {
+		t.Errorf("RelDiff = %q", got)
+	}
+	if got := RelDiff(0, 1); got != "n/a" {
+		t.Errorf("RelDiff zero base = %q", got)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(100, 80); got != "+20.00%" {
+		t.Errorf("Speedup = %q", got)
+	}
+	if got := Speedup(100, 120); got != "-20.00%" {
+		t.Errorf("Speedup = %q", got)
+	}
+	if got := Speedup(0, 1); got != "n/a" {
+		t.Errorf("Speedup zero base = %q", got)
+	}
+}

@@ -1,0 +1,569 @@
+// Package mpisim simulates an MPI runtime (the paper used MPICH 1.0.4p1)
+// running SPMD applications on the simulated POWER5 machine.
+//
+// Each rank is an OS process pinned to one logical CPU executing a Program
+// — a sequence of phases: Compute (a workload kernel), Barrier (the
+// MetBench master/worker synchronization), and Exchange (the BT-MZ/SIESTA
+// pattern: mpi_isend/mpi_irecv to neighbours followed by mpi_waitall).
+//
+// Waiting is busy-waiting, as in MPICH: a rank blocked at a barrier or
+// waitall runs the user-level Spin kernel (the progress-engine poll loop)
+// on its hardware context, consuming decode cycles and cache space of its
+// core sibling.  This is the effect the paper's priority mechanism
+// exploits: lowering a spinner's priority gives the core to the
+// compute-bound sibling.
+package mpisim
+
+import (
+	"fmt"
+
+	"repro/internal/hwpri"
+	"repro/internal/isa"
+	"repro/internal/oskernel"
+	"repro/internal/power5"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// PhaseKind discriminates program phases.
+type PhaseKind uint8
+
+// Phase kinds.
+const (
+	// PhaseCompute runs a workload kernel to completion.
+	PhaseCompute PhaseKind = iota
+	// PhaseBarrier blocks until every rank reaches its barrier.
+	PhaseBarrier
+	// PhaseExchange posts non-blocking sends/receives to the peer ranks
+	// and waits (mpi_waitall) until the matching exchanges complete.
+	PhaseExchange
+)
+
+// Phase is one step of a rank's program.
+type Phase struct {
+	Kind  PhaseKind
+	Load  workload.Load // PhaseCompute
+	Peers []int         // PhaseExchange
+	Bytes int64         // PhaseExchange
+}
+
+// Compute returns a compute phase running the given load.
+func Compute(l workload.Load) Phase { return Phase{Kind: PhaseCompute, Load: l} }
+
+// Barrier returns a global barrier phase.
+func Barrier() Phase { return Phase{Kind: PhaseBarrier} }
+
+// Exchange returns a neighbour-exchange phase moving bytes to/from peers.
+func Exchange(bytes int64, peers ...int) Phase {
+	return Phase{Kind: PhaseExchange, Bytes: bytes, Peers: peers}
+}
+
+// Program is a rank's phase sequence.
+type Program []Phase
+
+// Job is an MPI application: one program per rank.
+type Job struct {
+	// Name labels the job in diagnostics.
+	Name string
+	// Ranks holds each rank's program.
+	Ranks []Program
+}
+
+// Placement pins ranks to logical CPUs with hardware priorities, i.e. the
+// experiment configuration of the paper's Tables IV-VI rows.
+type Placement struct {
+	// CPU maps rank -> logical CPU.
+	CPU []int
+	// Prio maps rank -> hardware thread priority at launch.
+	Prio []hwpri.Priority
+}
+
+// DefaultPlacement pins rank i to CPU i at MEDIUM priority — the paper's
+// reference Case A.
+func DefaultPlacement(ranks int) Placement {
+	pl := Placement{CPU: make([]int, ranks), Prio: make([]hwpri.Priority, ranks)}
+	for i := range pl.CPU {
+		pl.CPU[i] = i
+		pl.Prio[i] = hwpri.Medium
+	}
+	return pl
+}
+
+// IterationEvent is passed to Config.OnIteration at every barrier release;
+// it is the hook the dynamic balancer (internal/core) attaches to.
+type IterationEvent struct {
+	// Index counts barrier releases from 0.
+	Index int
+	// Arrival is the cycle each rank reached the barrier.
+	Arrival []int64
+	// ComputeCycles is the time each rank spent in compute phases since
+	// the previous release — the per-process computation time the
+	// paper's proposed OS balancer would sample (Section VIII).  Unlike
+	// Arrival it is not distorted by exchange coupling.
+	ComputeCycles []int64
+	// Release is the cycle the barrier opened.
+	Release int64
+	// Kernel gives the handler access to the OS (procfs writes).
+	Kernel *oskernel.Kernel
+	// PIDs maps rank -> PID for procfs writes.
+	PIDs []int
+}
+
+// Config parameterizes a run.
+type Config struct {
+	// Chip configures the simulated processor; zero value means
+	// power5.DefaultConfig.
+	Chip power5.Config
+	// Kernel configures the simulated OS; zero value means
+	// oskernel.DefaultConfig (patched, 1000 Hz-equivalent ticks).
+	Kernel oskernel.Config
+	// KernelSet marks Kernel as explicitly provided (a zero
+	// oskernel.Config is a valid vanilla-kernel configuration).
+	KernelSet bool
+	// CommLatency computes the exchange latency in cycles between two
+	// logical CPUs; nil installs DefaultCommLatency.
+	CommLatency func(cpuA, cpuB int, bytes int64) int64
+	// MaxCycles aborts runs that stop progressing (deadlock guard).
+	// 0 means a generous default.
+	MaxCycles int64
+	// OnIteration, if set, fires at every barrier release.
+	OnIteration func(ev IterationEvent)
+	// ColdCaches skips the cache pre-warming pass.  By default each
+	// rank's working set is touched into the hierarchy before the traced
+	// region: the paper measures steady-state applications, and at the
+	// reproduction's reduced workload scale the cold first pass over a
+	// footprint would otherwise dominate the run.
+	ColdCaches bool
+}
+
+// DefaultCommLatency models the paper's single-node SMP: exchanges between
+// contexts of the same core ride the shared L2, cross-core exchanges pay
+// the chip interconnect, plus a per-byte cost.  Communication is a fraction
+// of a percent of iteration time, as measured in the paper (Section VII-B).
+func DefaultCommLatency(cpuA, cpuB int, bytes int64) int64 {
+	base := int64(300)
+	if cpuA/2 != cpuB/2 {
+		base = 800
+	}
+	return base + bytes/128
+}
+
+// RankResult summarizes one rank's run.
+type RankResult struct {
+	// CPU is the logical CPU the rank was pinned to.
+	CPU int
+	// Core is the physical core of that CPU.
+	Core int
+	// Prio is the rank's launch priority.
+	Prio hwpri.Priority
+	// ComputePct, SyncPct and CommPct are the percentages of the rank's
+	// time spent computing, waiting and communicating (the paper's
+	// "Comp %" and "Sync %" columns).
+	ComputePct, SyncPct, CommPct float64
+	// Instructions is the count of completed instructions on the rank's
+	// context (including its busy-wait spinning).
+	Instructions int64
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// Cycles is the total execution time in cycles.
+	Cycles int64
+	// Seconds is Cycles on the simulated 1.65 GHz clock.
+	Seconds float64
+	// Imbalance is the paper's metric: the maximum Sync percentage over
+	// the ranks.
+	Imbalance float64
+	// Trace holds the full state-interval trace (Figures 2-4).
+	Trace *trace.Trace
+	// Ranks holds per-rank summaries (Tables IV-VI rows).
+	Ranks []RankResult
+	// Iterations is the number of barrier releases observed.
+	Iterations int
+}
+
+// rankState tracks one rank's progress through its program.
+type rankState struct {
+	id       int
+	proc     *oskernel.Process
+	program  Program
+	pc       int
+	finished bool
+	// exchange bookkeeping: arrival cycle of each Exchange phase, in
+	// order of arrival.
+	exchangeArrivals []int64
+	pendingExchange  int // index of the exchange being waited for, -1 none
+	wakeAt           int64
+	commAt           int64 // when waiting turned into active transfer
+	// per-iteration compute accounting for IterationEvent.
+	computeAcc   int64
+	computeStart int64
+	inCompute    bool
+}
+
+type runtime struct {
+	job  *Job
+	pl   Placement
+	cfg  Config
+	chip *power5.Chip
+	kern *oskernel.Kernel
+	tr   *trace.Trace
+
+	ranks     []*rankState
+	byPID     map[int]*rankState
+	remaining int
+
+	barrierWaiting []int
+	barrierArrival []int64
+	iteration      int
+}
+
+// rankBase returns the disjoint address-space base of a rank.
+func rankBase(id int) uint64 { return uint64(id+1) << 36 }
+
+// spinLoad is the busy-wait kernel of a rank.
+func spinLoad(id int) workload.Load {
+	return workload.Load{Kind: workload.Spin, Base: rankBase(id) | 1<<32, Seed: uint64(id) + 101}
+}
+
+// Run executes the job under the placement and configuration.
+func Run(job *Job, pl Placement, cfg Config) (*Result, error) {
+	n := len(job.Ranks)
+	if n == 0 {
+		return nil, fmt.Errorf("mpisim: job %q has no ranks", job.Name)
+	}
+	if len(pl.CPU) != n || len(pl.Prio) != n {
+		return nil, fmt.Errorf("mpisim: placement size mismatch: %d ranks, %d CPUs, %d priorities",
+			n, len(pl.CPU), len(pl.Prio))
+	}
+	if cfg.Chip.Cores == 0 {
+		cfg.Chip = power5.DefaultConfig()
+	}
+	if !cfg.KernelSet {
+		cfg.Kernel = oskernel.DefaultConfig()
+	}
+	if cfg.CommLatency == nil {
+		cfg.CommLatency = DefaultCommLatency
+	}
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = 1 << 33
+	}
+	chip, err := power5.New(cfg.Chip)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[int]bool)
+	for r, cpu := range pl.CPU {
+		if cpu < 0 || cpu >= chip.Config().Cores*chip.Config().ThreadsPerCore {
+			return nil, fmt.Errorf("mpisim: rank %d pinned to invalid CPU %d", r, cpu)
+		}
+		if seen[cpu] {
+			return nil, fmt.Errorf("mpisim: CPU %d pinned twice", cpu)
+		}
+		seen[cpu] = true
+	}
+	rt := &runtime{
+		job:  job,
+		pl:   pl,
+		cfg:  cfg,
+		chip: chip,
+		kern: oskernel.New(chip, cfg.Kernel),
+		tr:   trace.New(n),
+	}
+	rt.byPID = make(map[int]*rankState, n)
+	rt.kern.OnProcessStreamEnd(rt.onStreamEnd)
+
+	// A priority-7 rank asks for Single Thread mode: take its unused
+	// sibling context offline, as the paper's ST rows do.
+	rankOn := make(map[int]int)
+	for r, cpu := range pl.CPU {
+		rankOn[cpu] = r
+	}
+	for cpu := 0; cpu < rt.kern.NumCPUs(); cpu++ {
+		if _, ok := rankOn[cpu]; ok {
+			continue
+		}
+		if sib, ok := rankOn[cpu^1]; ok && pl.Prio[sib] == hwpri.VeryHigh {
+			if err := rt.kern.OfflineCPU(cpu); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	for r := 0; r < n; r++ {
+		rs := &rankState{id: r, program: job.Ranks[r], pc: -1, pendingExchange: -1, wakeAt: -1}
+		rt.ranks = append(rt.ranks, rs)
+	}
+	rt.remaining = n
+	for _, rs := range rt.ranks {
+		proc, err := rt.kern.Spawn(fmt.Sprintf("%s-rank%d", job.Name, rs.id), pl.CPU[rs.id],
+			isa.Empty{}, pl.Prio[rs.id])
+		if err != nil {
+			return nil, err
+		}
+		rs.proc = proc
+		rt.byPID[proc.PID] = rs
+	}
+	if !cfg.ColdCaches {
+		rt.warmCaches()
+	}
+
+	// Move every rank into its first phase before the chip runs: the
+	// placeholder empty stream is never observed.
+	for _, rs := range rt.ranks {
+		rt.advance(rs)
+	}
+
+	for rt.remaining > 0 && rt.chip.Cycle() < rt.cfg.MaxCycles {
+		target := rt.cfg.MaxCycles
+		if w := rt.nextWake(); w >= 0 && w < target {
+			target = w
+		}
+		if c := rt.chip.Cycle() + 1_000_000; c < target {
+			target = c
+		}
+		if target <= rt.chip.Cycle() {
+			target = rt.chip.Cycle() + 1
+		}
+		rt.chip.RunUntil(target)
+		rt.fireWakeups()
+	}
+	if rt.remaining > 0 {
+		return nil, fmt.Errorf("mpisim: job %q exceeded MaxCycles=%d (deadlock or undersized budget)",
+			job.Name, rt.cfg.MaxCycles)
+	}
+	rt.tr.Finish(rt.chip.Cycle())
+
+	res := &Result{
+		Cycles:     rt.chip.Cycle(),
+		Seconds:    rt.chip.Seconds(rt.chip.Cycle()),
+		Imbalance:  rt.tr.Imbalance(),
+		Trace:      rt.tr,
+		Iterations: rt.iteration,
+	}
+	for _, rs := range rt.ranks {
+		st := rt.tr.RankStats(rs.id)
+		cpu := pl.CPU[rs.id]
+		core, thr := cpu/2, cpu%2
+		res.Ranks = append(res.Ranks, RankResult{
+			CPU:          cpu,
+			Core:         core,
+			Prio:         pl.Prio[rs.id],
+			ComputePct:   st.Pct(trace.Compute),
+			SyncPct:      st.Pct(trace.Sync),
+			CommPct:      st.Pct(trace.Comm),
+			Instructions: rt.chip.Stats(core, thr).Completed,
+		})
+	}
+	return res, nil
+}
+
+// warmCaches touches each rank's working sets (compute loads and its spin
+// loop's progress-engine footprint) into the hierarchy, bounded per load
+// so that deliberately cache-busting kernels (Mem) still miss.
+func (rt *runtime) warmCaches() {
+	const warmCap = 1 << 20 // bytes per load
+	const line = 128
+	for _, rs := range rt.ranks {
+		core := rt.pl.CPU[rs.id] / 2
+		warm := func(l workload.Load) {
+			base := l.Base
+			if base == 0 {
+				base = rankBase(rs.id)
+			}
+			fp := l.EffectiveFootprint()
+			if fp > warmCap {
+				fp = warmCap
+			}
+			for off := int64(0); off < fp; off += line {
+				rt.chip.TouchMemory(core, base+uint64(off))
+			}
+		}
+		for _, ph := range rs.program {
+			if ph.Kind == PhaseCompute {
+				warm(ph.Load)
+			}
+		}
+		warm(spinLoad(rs.id))
+	}
+}
+
+// nextWake returns the earliest pending wakeup cycle, or -1.
+func (rt *runtime) nextWake() int64 {
+	w := int64(-1)
+	for _, rs := range rt.ranks {
+		if rs.wakeAt >= 0 && (w < 0 || rs.wakeAt < w) {
+			w = rs.wakeAt
+		}
+	}
+	return w
+}
+
+// fireWakeups completes exchanges whose transfer finished.
+func (rt *runtime) fireWakeups() {
+	now := rt.chip.Cycle()
+	for _, rs := range rt.ranks {
+		if rs.wakeAt >= 0 && rs.wakeAt <= now {
+			rs.wakeAt = -1
+			rs.pendingExchange = -1
+			rt.advance(rs)
+		}
+	}
+}
+
+// onStreamEnd fires when a rank's compute phase finishes.
+func (rt *runtime) onStreamEnd(p *oskernel.Process) {
+	rs, ok := rt.byPID[p.PID]
+	if !ok || rs.finished {
+		return
+	}
+	rt.advance(rs)
+}
+
+// advance moves a rank to its next phase.
+func (rt *runtime) advance(rs *rankState) {
+	rs.pc++
+	rt.startPhase(rs)
+}
+
+// startPhase begins the phase at rs.pc.
+func (rt *runtime) startPhase(rs *rankState) {
+	now := rt.chip.Cycle()
+	if rs.inCompute {
+		rs.computeAcc += now - rs.computeStart
+		rs.inCompute = false
+	}
+	if rs.pc >= len(rs.program) {
+		rs.finished = true
+		rt.tr.Enter(rs.id, trace.Idle, now)
+		rt.kern.Exit(rs.proc)
+		rt.remaining--
+		if rt.remaining == 0 {
+			rt.chip.Halt()
+		}
+		return
+	}
+	ph := rs.program[rs.pc]
+	switch ph.Kind {
+	case PhaseCompute:
+		rt.tr.Enter(rs.id, trace.Compute, now)
+		rs.inCompute = true
+		rs.computeStart = now
+		load := ph.Load
+		if load.Base == 0 {
+			load.Base = rankBase(rs.id)
+		}
+		if load.Seed == 0 {
+			load.Seed = uint64(rs.id)*977 + uint64(rs.pc) + 1
+		}
+		rt.kern.SetUserStream(rs.proc, load.Stream())
+	case PhaseBarrier:
+		rt.tr.Enter(rs.id, trace.Sync, now)
+		rt.kern.SetUserStream(rs.proc, spinLoad(rs.id).Stream())
+		rt.barrierWaiting = append(rt.barrierWaiting, rs.id)
+		rt.barrierArrival = append(rt.barrierArrival, now)
+		if len(rt.barrierWaiting) == rt.activeRanks() {
+			rt.releaseBarrier()
+		}
+	case PhaseExchange:
+		rt.tr.Enter(rs.id, trace.Sync, now)
+		rt.kern.SetUserStream(rs.proc, spinLoad(rs.id).Stream())
+		rs.exchangeArrivals = append(rs.exchangeArrivals, now)
+		rs.pendingExchange = len(rs.exchangeArrivals) - 1
+		rt.checkExchanges()
+	default:
+		panic(fmt.Sprintf("mpisim: unknown phase kind %d", ph.Kind))
+	}
+}
+
+// activeRanks counts unfinished ranks (a finished rank no longer joins
+// barriers — programs should be barrier-aligned, but this keeps truncated
+// programs from deadlocking the rest).
+func (rt *runtime) activeRanks() int {
+	n := 0
+	for _, rs := range rt.ranks {
+		if !rs.finished {
+			n++
+		}
+	}
+	return n
+}
+
+// releaseBarrier opens the barrier and advances all waiting ranks.
+func (rt *runtime) releaseBarrier() {
+	arrival := make([]int64, len(rt.ranks))
+	for i, id := range rt.barrierWaiting {
+		arrival[id] = rt.barrierArrival[i]
+	}
+	waiting := rt.barrierWaiting
+	rt.barrierWaiting = nil
+	rt.barrierArrival = nil
+	if rt.cfg.OnIteration != nil {
+		pids := make([]int, len(rt.ranks))
+		comp := make([]int64, len(rt.ranks))
+		for _, rs := range rt.ranks {
+			pids[rs.id] = rs.proc.PID
+			comp[rs.id] = rs.computeAcc
+		}
+		rt.cfg.OnIteration(IterationEvent{
+			Index:         rt.iteration,
+			Arrival:       arrival,
+			ComputeCycles: comp,
+			Release:       rt.chip.Cycle(),
+			Kernel:        rt.kern,
+			PIDs:          pids,
+		})
+	}
+	for _, rs := range rt.ranks {
+		rs.computeAcc = 0
+	}
+	rt.iteration++
+	for _, id := range waiting {
+		rt.advance(rt.ranks[id])
+	}
+}
+
+// checkExchanges resolves pending exchanges whose peers have all arrived:
+// the n-th exchange of a rank matches the n-th exchange of each peer.
+func (rt *runtime) checkExchanges() {
+	for _, rs := range rt.ranks {
+		n := rs.pendingExchange
+		if n < 0 || rs.wakeAt >= 0 {
+			continue
+		}
+		ph := rs.program[rs.pc]
+		ready := rs.exchangeArrivals[n]
+		ok := true
+		for _, p := range ph.Peers {
+			peer := rt.ranks[p]
+			if len(peer.exchangeArrivals) <= n {
+				ok = false
+				break
+			}
+			if a := peer.exchangeArrivals[n]; a > ready {
+				ready = a
+			}
+		}
+		if !ok {
+			continue
+		}
+		// All peers posted: the transfer itself now takes the wire
+		// latency; the rank shows as communicating.
+		lat := int64(0)
+		for _, p := range ph.Peers {
+			l := rt.cfg.CommLatency(rt.pl.CPU[rs.id], rt.pl.CPU[p], ph.Bytes)
+			if l > lat {
+				lat = l
+			}
+		}
+		rs.commAt = ready
+		if now := rt.chip.Cycle(); now > rs.commAt {
+			rs.commAt = now
+		}
+		rt.tr.Enter(rs.id, trace.Comm, rs.commAt)
+		rs.wakeAt = rs.commAt + lat
+		// Interrupt the chip's current run so the main loop re-targets
+		// to this wakeup instead of overshooting it.
+		rt.chip.Halt()
+	}
+}

@@ -1,0 +1,345 @@
+package mpisim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/hwpri"
+	"repro/internal/oskernel"
+	"repro/internal/power5"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// quietCfg returns a config without OS noise so tests are exactly
+// reproducible and fast.
+func quietCfg() Config {
+	chip := power5.DefaultConfig()
+	chip.BranchBits = 10
+	return Config{
+		Chip:      chip,
+		Kernel:    oskernel.Config{Patched: true},
+		KernelSet: true,
+		MaxCycles: 1 << 26,
+	}
+}
+
+func fpu(n int64) workload.Load { return workload.Load{Kind: workload.FPU, N: n} }
+
+// balancedJob returns ranks with identical loads and a final barrier.
+func balancedJob(ranks int, n int64) *Job {
+	job := &Job{Name: "balanced"}
+	for r := 0; r < ranks; r++ {
+		job.Ranks = append(job.Ranks, Program{Compute(fpu(n)), Barrier()})
+	}
+	return job
+}
+
+func TestValidation(t *testing.T) {
+	cfg := quietCfg()
+	if _, err := Run(&Job{Name: "empty"}, Placement{}, cfg); err == nil {
+		t.Error("empty job accepted")
+	}
+	job := balancedJob(2, 100)
+	if _, err := Run(job, Placement{CPU: []int{0}, Prio: []hwpri.Priority{4}}, cfg); err == nil {
+		t.Error("placement size mismatch accepted")
+	}
+	if _, err := Run(job, Placement{CPU: []int{0, 9}, Prio: []hwpri.Priority{4, 4}}, cfg); err == nil {
+		t.Error("invalid CPU accepted")
+	}
+	if _, err := Run(job, Placement{CPU: []int{0, 0}, Prio: []hwpri.Priority{4, 4}}, cfg); err == nil {
+		t.Error("double-pinned CPU accepted")
+	}
+}
+
+func TestBalancedRun(t *testing.T) {
+	res, err := Run(balancedJob(4, 20000), DefaultPlacement(4), quietCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= 0 || res.Seconds <= 0 {
+		t.Fatal("no time elapsed")
+	}
+	if res.Imbalance > 10 {
+		t.Errorf("balanced job shows %.1f%% imbalance", res.Imbalance)
+	}
+	for r, rr := range res.Ranks {
+		if rr.ComputePct < 85 {
+			t.Errorf("rank %d compute%% = %.1f, want > 85 for balanced job", r, rr.ComputePct)
+		}
+	}
+	if res.Iterations != 1 {
+		t.Errorf("iterations = %d, want 1", res.Iterations)
+	}
+}
+
+// TestImbalancedJob: a heavy rank makes the others wait; the imbalance
+// metric and per-rank stats must reflect it (the paper's Case A shape).
+func TestImbalancedJob(t *testing.T) {
+	job := &Job{Name: "imbalanced", Ranks: []Program{
+		{Compute(fpu(10000)), Barrier()},
+		{Compute(fpu(40000)), Barrier()},
+		{Compute(fpu(10000)), Barrier()},
+		{Compute(fpu(40000)), Barrier()},
+	}}
+	res, err := Run(job, DefaultPlacement(4), quietCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Imbalance < 40 {
+		t.Errorf("imbalance = %.1f%%, want > 40%% for a 4x load skew", res.Imbalance)
+	}
+	if res.Ranks[0].SyncPct < res.Ranks[1].SyncPct {
+		t.Error("light rank waits less than heavy rank")
+	}
+	if res.Ranks[1].ComputePct < 90 {
+		t.Errorf("heavy rank compute%% = %.1f, want > 90", res.Ranks[1].ComputePct)
+	}
+}
+
+// TestPriorityBalancing is the paper's core claim end-to-end: favoring the
+// heavy rank on each core shortens total execution time.
+func TestPriorityBalancing(t *testing.T) {
+	job := &Job{Name: "metbench-like", Ranks: []Program{
+		{Compute(fpu(10000)), Barrier()},
+		{Compute(fpu(40000)), Barrier()},
+		{Compute(fpu(10000)), Barrier()},
+		{Compute(fpu(40000)), Barrier()},
+	}}
+	base, err := Run(job, DefaultPlacement(4), quietCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuned, err := Run(job, Placement{
+		CPU:  []int{0, 1, 2, 3},
+		Prio: []hwpri.Priority{4, 6, 4, 6},
+	}, quietCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tuned.Cycles >= base.Cycles {
+		t.Errorf("priority balancing did not help: %d >= %d cycles", tuned.Cycles, base.Cycles)
+	}
+	if tuned.Imbalance >= base.Imbalance {
+		t.Errorf("imbalance not reduced: %.1f%% >= %.1f%%", tuned.Imbalance, base.Imbalance)
+	}
+}
+
+// TestOverPenalization is the Case D shape: starving the light ranks too
+// hard inverts the imbalance and hurts total time.
+func TestOverPenalization(t *testing.T) {
+	job := &Job{Name: "case-d", Ranks: []Program{
+		{Compute(fpu(10000)), Barrier()},
+		{Compute(fpu(40000)), Barrier()},
+		{Compute(fpu(10000)), Barrier()},
+		{Compute(fpu(40000)), Barrier()},
+	}}
+	good, err := Run(job, Placement{CPU: []int{0, 1, 2, 3}, Prio: []hwpri.Priority{4, 6, 4, 6}}, quietCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := Run(job, Placement{CPU: []int{0, 1, 2, 3}, Prio: []hwpri.Priority{2, 6, 2, 6}}, quietCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad.Cycles <= good.Cycles {
+		t.Errorf("over-penalization did not hurt: %d <= %d", bad.Cycles, good.Cycles)
+	}
+	// The bottleneck flips: now the heavy ranks wait for the light ones.
+	if bad.Ranks[1].SyncPct <= good.Ranks[1].SyncPct {
+		t.Error("imbalance not inverted under over-penalization")
+	}
+}
+
+func TestMultipleIterations(t *testing.T) {
+	const iters = 5
+	job := &Job{Name: "iterative"}
+	for r := 0; r < 4; r++ {
+		var p Program
+		for i := 0; i < iters; i++ {
+			p = append(p, Compute(fpu(3000)), Barrier())
+		}
+		job.Ranks = append(job.Ranks, p)
+	}
+	var events []IterationEvent
+	cfg := quietCfg()
+	cfg.OnIteration = func(ev IterationEvent) { events = append(events, ev) }
+	res, err := Run(job, DefaultPlacement(4), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != iters {
+		t.Errorf("iterations = %d, want %d", res.Iterations, iters)
+	}
+	if len(events) != iters {
+		t.Fatalf("OnIteration fired %d times, want %d", len(events), iters)
+	}
+	for i, ev := range events {
+		if ev.Index != i {
+			t.Errorf("event %d has index %d", i, ev.Index)
+		}
+		if len(ev.Arrival) != 4 || len(ev.PIDs) != 4 {
+			t.Error("event missing per-rank data")
+		}
+		if ev.Kernel == nil {
+			t.Error("event missing kernel handle")
+		}
+		for r, a := range ev.Arrival {
+			if a <= 0 || a > ev.Release {
+				t.Errorf("event %d rank %d arrival %d outside (0, release=%d]", i, r, a, ev.Release)
+			}
+		}
+	}
+}
+
+// TestExchangePhases: neighbour exchanges synchronize pairs, not the whole
+// job, and show up as Comm time.
+func TestExchangePhases(t *testing.T) {
+	// No trailing barrier: exchange coupling is pairwise only.
+	job := &Job{Name: "exchange", Ranks: []Program{
+		{Compute(fpu(5000)), Exchange(4096, 1), Compute(fpu(5000))},
+		{Compute(fpu(20000)), Exchange(4096, 0), Compute(fpu(5000))},
+		{Compute(fpu(5000)), Exchange(4096, 3), Compute(fpu(5000))},
+		{Compute(fpu(5000)), Exchange(4096, 2), Compute(fpu(5000))},
+	}}
+	res, err := Run(job, DefaultPlacement(4), quietCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank 0 waits for its slow partner rank 1; ranks 2/3 are unaffected
+	// by that pair's skew.
+	if res.Ranks[0].SyncPct < 20 {
+		t.Errorf("rank 0 sync%% = %.1f, want substantial wait for slow peer", res.Ranks[0].SyncPct)
+	}
+	if res.Ranks[2].SyncPct > res.Ranks[0].SyncPct/2 {
+		t.Errorf("pair 2-3 (sync %.1f%%) affected by pair 0-1 skew (rank 0 sync %.1f%%)",
+			res.Ranks[2].SyncPct, res.Ranks[0].SyncPct)
+	}
+	for r := range res.Ranks {
+		if res.Ranks[r].CommPct <= 0 {
+			t.Errorf("rank %d has no comm time", r)
+		}
+	}
+}
+
+// TestSingleThreadPlacement: the ST rows of Tables V/VI — two ranks at
+// priority 7 with siblings offlined run faster per-rank than four SMT
+// ranks, but the 4-rank SMT run finishes the same total work sooner.
+func TestSingleThreadPlacement(t *testing.T) {
+	const work = 40000
+	smt, err := Run(balancedJob(4, work/2), DefaultPlacement(4), quietCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Run(balancedJob(2, work), Placement{
+		CPU:  []int{0, 2},
+		Prio: []hwpri.Priority{hwpri.VeryHigh, hwpri.VeryHigh},
+	}, quietCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smt.Cycles >= st.Cycles {
+		t.Errorf("SMT (4 ranks) %d cycles not faster than ST (2 ranks) %d for equal total work",
+			smt.Cycles, st.Cycles)
+	}
+	// But ST must be faster than 2x the SMT per-rank rate would suggest:
+	// each ST rank had the whole core.
+	if st.Cycles >= 2*smt.Cycles {
+		t.Errorf("ST shows no per-thread benefit: %d >= 2x %d", st.Cycles, smt.Cycles)
+	}
+}
+
+func TestTraceShape(t *testing.T) {
+	res, err := Run(balancedJob(2, 5000), Placement{
+		CPU:  []int{0, 1},
+		Prio: []hwpri.Priority{4, 4},
+	}, quietCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Trace.Render(60)
+	if !strings.Contains(out, "P1") || !strings.Contains(out, "P2") {
+		t.Errorf("trace render missing ranks:\n%s", out)
+	}
+	for r := 0; r < 2; r++ {
+		ivs := res.Trace.Intervals(r)
+		if len(ivs) == 0 || ivs[0].State != trace.Compute {
+			t.Errorf("rank %d does not start computing: %+v", r, ivs)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	job := &Job{Name: "det", Ranks: []Program{
+		{Compute(fpu(8000)), Exchange(1024, 1), Compute(fpu(3000)), Barrier()},
+		{Compute(fpu(12000)), Exchange(1024, 0), Compute(fpu(3000)), Barrier()},
+		{Compute(fpu(6000)), Barrier()},
+		{Compute(fpu(9000)), Barrier()},
+	}}
+	pl := Placement{CPU: []int{0, 1, 2, 3}, Prio: []hwpri.Priority{4, 5, 4, 6}}
+	a, err := Run(job, pl, quietCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(job, pl, quietCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.Imbalance != b.Imbalance {
+		t.Errorf("non-deterministic: %d/%f vs %d/%f", a.Cycles, a.Imbalance, b.Cycles, b.Imbalance)
+	}
+}
+
+func TestDeadlockGuard(t *testing.T) {
+	// Rank 1 never reaches the exchange that rank 0 waits for.
+	job := &Job{Name: "deadlock", Ranks: []Program{
+		{Exchange(64, 1)},
+		{Compute(workload.Load{Kind: workload.Spin})}, // never ends
+	}}
+	cfg := quietCfg()
+	cfg.MaxCycles = 200000
+	if _, err := Run(job, DefaultPlacement(2), cfg); err == nil {
+		t.Fatal("deadlocked job did not error")
+	}
+}
+
+// TestVanillaKernelClobbersPriorities: with the unpatched kernel, the
+// priority assignment decays at the first tick, so balancing is lost —
+// the reason the paper had to patch Linux (Section VI).
+func TestVanillaKernelClobbersPriorities(t *testing.T) {
+	job := &Job{Name: "clobber", Ranks: []Program{
+		{Compute(fpu(8000)), Barrier()},
+		{Compute(fpu(32000)), Barrier()},
+		{Compute(fpu(8000)), Barrier()},
+		{Compute(fpu(32000)), Barrier()},
+	}}
+	pl := Placement{CPU: []int{0, 1, 2, 3}, Prio: []hwpri.Priority{4, 6, 4, 6}}
+
+	patched := quietCfg()
+	patched.Kernel = oskernel.Config{Patched: true, TickPeriod: 2500, TickCost: 150}
+	pRes, err := Run(job, pl, patched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vanilla := quietCfg()
+	vanilla.Kernel = oskernel.Config{Patched: false, TickPeriod: 2500, TickCost: 150}
+	vRes, err := Run(job, pl, vanilla)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vRes.Cycles <= pRes.Cycles {
+		t.Errorf("vanilla kernel did not lose the balancing benefit: %d <= %d cycles",
+			vRes.Cycles, pRes.Cycles)
+	}
+}
+
+func TestCommLatencyDefault(t *testing.T) {
+	same := DefaultCommLatency(0, 1, 0)
+	cross := DefaultCommLatency(0, 2, 0)
+	if cross <= same {
+		t.Error("cross-core latency not higher than same-core")
+	}
+	if DefaultCommLatency(0, 1, 1<<20) <= same {
+		t.Error("bytes do not add latency")
+	}
+}

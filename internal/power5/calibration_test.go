@@ -1,0 +1,84 @@
+package power5
+
+import (
+	"testing"
+
+	"repro/internal/hwpri"
+	"repro/internal/workload"
+)
+
+// TestCalibrationReport logs the simulator's SMT characteristics: solo IPC
+// per kernel kind, co-run efficiency at equal priorities, the cost of a
+// spinning sibling, and the effect of each priority difference.  The
+// assertions pin the broad shape the paper requires; the logged numbers
+// document the calibration (see EXPERIMENTS.md).
+func TestCalibrationReport(t *testing.T) {
+	const cycles = 100000
+	kinds := []workload.Kind{workload.FPU, workload.FXU, workload.L1, workload.L2, workload.Mem, workload.Branchy, workload.Mixed}
+
+	solo := func(k workload.Kind) float64 {
+		ch := MustNew(testConfig())
+		ch.SetPriority(0, 1, hwpri.ThreadOff)
+		ch.SetPriority(0, 0, hwpri.VeryHigh)
+		ch.SetStream(0, 0, workload.Load{Kind: k, N: 1 << 40, Seed: 1}.Stream())
+		ch.Run(cycles)
+		return float64(ch.Stats(0, 0).Completed) / cycles
+	}
+	pair := func(ka, kb workload.Kind, pa, pb hwpri.Priority) (float64, float64) {
+		ch := MustNew(testConfig())
+		ch.SetPriority(0, 0, pa)
+		ch.SetPriority(0, 1, pb)
+		ch.SetStream(0, 0, workload.Load{Kind: ka, N: 1 << 40, Seed: 1}.Stream())
+		ch.SetStream(0, 1, workload.Load{Kind: kb, N: 1 << 40, Seed: 2, Base: 1 << 32}.Stream())
+		ch.Run(cycles)
+		return float64(ch.Stats(0, 0).Completed) / cycles, float64(ch.Stats(0, 1).Completed) / cycles
+	}
+
+	soloIPC := map[workload.Kind]float64{}
+	for _, k := range kinds {
+		soloIPC[k] = solo(k)
+		t.Logf("solo %-8v IPC %.3f", k, soloIPC[k])
+	}
+
+	t.Log("--- homogeneous co-run at equal priority (per-thread efficiency vs solo) ---")
+	for _, k := range kinds {
+		a, b := pair(k, k, hwpri.Medium, hwpri.Medium)
+		eff := (a + b) / 2 / soloIPC[k]
+		t.Logf("co-run %-8v per-thread IPC %.3f eff %.2f", k, (a+b)/2, eff)
+		if eff > 1.02 {
+			t.Errorf("%v: SMT co-run per-thread efficiency %.2f > 1, impossible", k, eff)
+		}
+	}
+
+	t.Log("--- compute vs spinning sibling ---")
+	for _, k := range []workload.Kind{workload.FPU, workload.FXU, workload.Mixed} {
+		withSpin, _ := pair(k, workload.Spin, hwpri.Medium, hwpri.Medium)
+		cost := 1 - withSpin/soloIPC[k]
+		t.Logf("%-8v with spinner: IPC %.3f (spin cost %.1f%%)", k, withSpin, cost*100)
+		if cost < 0.02 {
+			t.Errorf("%v: spinning sibling costs only %.1f%%; the balancing mechanism needs a real cost", k, cost*100)
+		}
+	}
+
+	t.Log("--- priority sweep, FXU vs FXU (favored/penalized IPC) ---")
+	eqA, eqB := pair(workload.FXU, workload.FXU, hwpri.Medium, hwpri.Medium)
+	t.Logf("diff 0: %.3f / %.3f", eqA, eqB)
+	prev := eqB
+	for d, pa := range []hwpri.Priority{hwpri.MediumHigh, hwpri.High} {
+		a, b := pair(workload.FXU, workload.FXU, pa, hwpri.Medium)
+		t.Logf("diff %d: %.3f / %.3f (favored +%.0f%%, penalized -%.0f%%)",
+			d+1, a, b, (a/eqA-1)*100, (1-b/eqB)*100)
+		if a < eqA {
+			t.Errorf("diff %d: favored IPC %.3f below equal-priority %.3f", d+1, a, eqA)
+		}
+		if b > prev {
+			t.Errorf("diff %d: penalized IPC %.3f not monotonically decreasing", d+1, b)
+		}
+		prev = b
+	}
+	for d, pb := range []hwpri.Priority{hwpri.MediumLow, hwpri.Low} {
+		a, b := pair(workload.FXU, workload.FXU, hwpri.High, pb)
+		t.Logf("diff %d: %.3f / %.3f (favored +%.0f%%, penalized -%.0f%%)",
+			d+3, a, b, (a/eqA-1)*100, (1-b/eqB)*100)
+	}
+}

@@ -1,0 +1,137 @@
+// Package power5 is a cycle-level performance simulator of an IBM POWER5
+// chip: two cores, each a 2-way SMT core whose decode stage divides its
+// cycles between the two hardware thread contexts according to the
+// hardware thread priorities (internal/hwpri), with shared issue
+// bandwidth, functional units, completion window, branch predictor and L2.
+//
+// The simulator is a timing model, not a functional emulator: it consumes
+// isa.Stream instruction streams whose operation classes, dependency
+// distances, addresses and branch outcomes determine timing.  It
+// reproduces the three behaviours the paper's balancing mechanism rests
+// on:
+//
+//  1. a context's throughput is bounded by its decode-cycle share, which
+//     the priority difference controls exponentially (R = 2^(|X-Y|+1));
+//  2. co-running contexts contend for issue slots, functional units,
+//     window entries and shared caches, so favoring one context slows the
+//     other super-linearly at large priority differences; and
+//  3. single-thread mode (priority 0/7) hands the whole core to one
+//     context.
+package power5
+
+import (
+	"repro/internal/mem"
+)
+
+// Config describes the simulated chip.  The zero value is not usable; use
+// DefaultConfig.
+type Config struct {
+	// Cores is the number of cores on the chip (POWER5: 2).
+	Cores int
+	// ThreadsPerCore is the SMT width per core (POWER5: 2; the priority
+	// mechanism is defined for exactly 2).
+	ThreadsPerCore int
+	// DecodeWidth is the instructions decoded per cycle from the single
+	// context that owns the decode stage that cycle (POWER5 dispatches
+	// one group of up to 5 instructions per cycle).
+	DecodeWidth int
+	// IssueWidth is the shared per-core issue bandwidth per cycle.
+	IssueWidth int
+	// CompleteWidth is the shared per-core completion bandwidth per cycle.
+	CompleteWidth int
+	// WindowSize is the shared per-core completion-table capacity in
+	// instructions (POWER5: 20 groups of 5).
+	WindowSize int
+	// ThreadWindowCap models the POWER5 "dynamic resource balancing"
+	// logic: when both contexts are active, a single context may occupy
+	// at most this many window entries before its decode is throttled,
+	// preventing one thread from starving its sibling out of the shared
+	// completion table.  0 disables the throttle.
+	ThreadWindowCap int
+	// Functional unit counts per core.
+	FXUnits, FPUnits, LSUnits, BRUnits int
+	// MSHRs bounds outstanding L1 misses per core.
+	MSHRs int
+	// MispredictPenalty is the decode stall in cycles after a
+	// mispredicted branch.
+	MispredictPenalty int
+	// Latencies in cycles for multi-cycle operations.
+	FXMulLatency, FPLatency, FPDivLatency int
+	// BranchBits sizes the shared branch predictor (2^bits counters).
+	BranchBits int
+	// ClockHz converts cycles to seconds (POWER5: 1.65 GHz).
+	ClockHz float64
+	// Hier describes the memory hierarchy.  Hier.Cores is overridden to
+	// match Cores.
+	Hier mem.HierConfig
+}
+
+// DefaultConfig returns a POWER5-like configuration.
+func DefaultConfig() Config {
+	return Config{
+		Cores:             2,
+		ThreadsPerCore:    2,
+		DecodeWidth:       5,
+		IssueWidth:        5,
+		CompleteWidth:     5,
+		WindowSize:        64,
+		ThreadWindowCap:   32,
+		FXUnits:           2,
+		FPUnits:           2,
+		LSUnits:           2,
+		BRUnits:           1,
+		MSHRs:             8,
+		MispredictPenalty: 7,
+		FXMulLatency:      7,
+		FPLatency:         6,
+		FPDivLatency:      30,
+		BranchBits:        14,
+		ClockHz:           1.65e9,
+		Hier:              mem.DefaultHierConfig(2),
+	}
+}
+
+// validate normalizes and sanity-checks the configuration.
+func (c *Config) validate() error {
+	if c.Cores <= 0 {
+		return errConfig("Cores")
+	}
+	if c.ThreadsPerCore != 2 {
+		return errConfig("ThreadsPerCore (the POWER5 priority mechanism is defined for 2-way SMT)")
+	}
+	if c.DecodeWidth <= 0 || c.IssueWidth <= 0 || c.CompleteWidth <= 0 {
+		return errConfig("pipeline widths")
+	}
+	if c.WindowSize < c.DecodeWidth {
+		return errConfig("WindowSize must be at least DecodeWidth")
+	}
+	if c.ThreadWindowCap < 0 || c.ThreadWindowCap > c.WindowSize {
+		return errConfig("ThreadWindowCap must be within [0, WindowSize]")
+	}
+	if c.ThreadWindowCap == 0 {
+		c.ThreadWindowCap = c.WindowSize
+	}
+	if c.FXUnits <= 0 || c.FPUnits <= 0 || c.LSUnits <= 0 || c.BRUnits <= 0 {
+		return errConfig("functional unit counts")
+	}
+	if c.MSHRs <= 0 || c.MispredictPenalty < 0 {
+		return errConfig("MSHRs/MispredictPenalty")
+	}
+	if c.FXMulLatency <= 0 || c.FPLatency <= 0 || c.FPDivLatency <= 0 {
+		return errConfig("latencies")
+	}
+	if c.BranchBits < 4 || c.BranchBits > 24 {
+		return errConfig("BranchBits")
+	}
+	if c.ClockHz <= 0 {
+		return errConfig("ClockHz")
+	}
+	c.Hier.Cores = c.Cores
+	return nil
+}
+
+type configError string
+
+func errConfig(what string) error { return configError(what) }
+
+func (e configError) Error() string { return "power5: invalid config: " + string(e) }

@@ -1,0 +1,120 @@
+package power5
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hwpri"
+	"repro/internal/workload"
+)
+
+// Property: instruction conservation — everything decoded is eventually
+// completed once the chip drains, for any kernel kind, load size and
+// priority pair.
+func TestPropInstructionConservation(t *testing.T) {
+	f := func(rk, rp uint8, rn uint16) bool {
+		kind := workload.Kind(rk % 7) // all finite kinds
+		pa := hwpri.Priority(rp%5 + 2)
+		pb := hwpri.Priority((rp/5)%5 + 2)
+		n := int64(rn%2000) + 1
+		cfg := testConfig()
+		ch := MustNew(cfg)
+		ch.SetPriority(0, 0, pa)
+		ch.SetPriority(0, 1, pb)
+		ch.SetStream(0, 0, workload.Load{Kind: kind, N: n, Seed: 1}.Stream())
+		ch.SetStream(0, 1, workload.Load{Kind: kind, N: n, Seed: 2, Base: 1 << 32}.Stream())
+		ch.RunUntil(1 << 24)
+		s0, s1 := ch.Stats(0, 0), ch.Stats(0, 1)
+		return s0.Decoded == n && s0.Completed == n &&
+			s1.Decoded == n && s1.Completed == n &&
+			ch.AllIdle()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: in-flight counts never exceed the window, and per-context
+// occupancy never exceeds the thread cap while the sibling runs.
+func TestPropWindowBounds(t *testing.T) {
+	cfg := testConfig()
+	ch := MustNew(cfg)
+	ch.SetStream(0, 0, workload.Load{Kind: workload.Mixed, N: 1 << 40, Seed: 1}.Stream())
+	ch.SetStream(0, 1, workload.Load{Kind: workload.Spin, Seed: 2, Base: 1 << 32}.Stream())
+	for i := 0; i < 20000; i++ {
+		ch.Step()
+		in0, in1 := ch.InFlight(0, 0), ch.InFlight(0, 1)
+		if in0+in1 > cfg.WindowSize {
+			t.Fatalf("cycle %d: window overflow %d+%d > %d", i, in0, in1, cfg.WindowSize)
+		}
+		if in0 > cfg.ThreadWindowCap || in1 > cfg.ThreadWindowCap {
+			t.Fatalf("cycle %d: thread cap exceeded: %d/%d > %d", i, in0, in1, cfg.ThreadWindowCap)
+		}
+	}
+}
+
+// Property: priority changes mid-run never lose instructions.
+func TestPropMidRunPriorityChanges(t *testing.T) {
+	f := func(changes []uint8) bool {
+		const n = 4000
+		ch := MustNew(testConfig())
+		ch.SetStream(0, 0, workload.Load{Kind: workload.FXU, N: n, Seed: 1}.Stream())
+		ch.SetStream(0, 1, workload.Load{Kind: workload.FXU, N: n, Seed: 2, Base: 1 << 32}.Stream())
+		for _, c := range changes {
+			ch.Run(200)
+			ch.SetPriority(0, int(c)%2, hwpri.Priority(c%5+2))
+		}
+		ch.RunUntil(1 << 24)
+		return ch.Stats(0, 0).Completed == n && ch.Stats(0, 1).Completed == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the throttled and power-save decode bounds hold for any
+// runtime length.
+func TestPropLowPowerBounds(t *testing.T) {
+	f := func(rc uint16) bool {
+		cycles := int64(rc)%30000 + 1000
+		ch := MustNew(testConfig())
+		ch.SetPriority(0, 0, hwpri.VeryLow)
+		ch.SetPriority(0, 1, hwpri.VeryLow)
+		ch.SetStream(0, 0, workload.Load{Kind: workload.FXU, N: 1 << 40, Seed: 1}.Stream())
+		ch.SetStream(0, 1, workload.Load{Kind: workload.FXU, N: 1 << 40, Seed: 2, Base: 1 << 32}.Stream())
+		ch.Run(cycles)
+		bound := (cycles/64 + 1) * int64(ch.Config().DecodeWidth)
+		return ch.Stats(0, 0).Decoded <= bound && ch.Stats(0, 1).Decoded <= bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTSRInterface(t *testing.T) {
+	ch := MustNew(testConfig())
+	if got := ch.ReadTSR(0, 0).Priority(); got != hwpri.Medium {
+		t.Fatalf("initial TSR priority = %v", got)
+	}
+	// User-level mtspr: 3 works, 6 is silently ignored.
+	if !ch.WriteTSR(0, 0, hwpri.TSRFromPriority(hwpri.MediumLow)) {
+		t.Error("user mtspr of 3 rejected")
+	}
+	if ch.WriteTSR(0, 0, hwpri.TSRFromPriority(hwpri.High)) {
+		t.Error("user mtspr of 6 accepted")
+	}
+	if got := ch.Priority(0, 0); got != hwpri.MediumLow {
+		t.Errorf("priority = %v, want medium-low", got)
+	}
+	// Supervisor reaches 6, and the allocation updates.
+	ch.SetPrivilege(0, 0, hwpri.Supervisor)
+	if !ch.WriteTSR(0, 0, hwpri.TSRFromPriority(hwpri.High)) {
+		t.Error("supervisor mtspr of 6 rejected")
+	}
+	if got := ch.Allocation(0); got.Favored != 0 {
+		t.Errorf("allocation not updated after TSR write: %+v", got)
+	}
+	if got := ch.ReadTSR(0, 0).Priority(); got != hwpri.High {
+		t.Errorf("TSR readback = %v, want high", got)
+	}
+}

@@ -1,0 +1,275 @@
+// Package trace records per-rank state intervals of a simulated MPI run
+// and computes the metrics the paper reports, playing the role PARAVER
+// played for the authors (Section VII): per-process %Compute and %Sync,
+// the imbalance percentage (the maximum waiting-time percentage across the
+// processes of the application), and total execution time.  It can render
+// ASCII timelines equivalent to the paper's Figures 2–4 and export
+// machine-readable traces.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// State is the activity of a rank during an interval.
+type State uint8
+
+// Rank states.  The paper's figures use dark bars for computation,
+// light bars for synchronization waiting, and black bars for
+// communication/statistics.
+const (
+	// Compute is useful work.
+	Compute State = iota
+	// Sync is busy-waiting at a synchronization point (barrier/waitall).
+	Sync
+	// Comm is active communication (data exchange, collective setup).
+	Comm
+	// Idle means the rank is not scheduled or finished.
+	Idle
+	// NumStates is the number of distinct states.
+	NumStates
+)
+
+var stateNames = [NumStates]string{"compute", "sync", "comm", "idle"}
+
+// String returns the state name.
+func (s State) String() string {
+	if int(s) >= len(stateNames) {
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+	return stateNames[s]
+}
+
+// glyphs used by Render, indexed by State.
+var glyphs = [NumStates]rune{'█', '░', '▓', ' '}
+
+// Interval is one contiguous span of a rank in a single state.
+type Interval struct {
+	State    State
+	From, To int64 // cycles, [From, To)
+}
+
+// Duration returns the interval length in cycles.
+func (iv Interval) Duration() int64 { return iv.To - iv.From }
+
+// Trace accumulates intervals for a fixed set of ranks.
+type Trace struct {
+	ranks    [][]Interval
+	cur      []State
+	curFrom  []int64
+	started  []bool
+	end      int64
+	finished bool
+}
+
+// New returns a trace for n ranks.
+func New(n int) *Trace {
+	if n <= 0 {
+		panic("trace: need at least one rank")
+	}
+	return &Trace{
+		ranks:   make([][]Interval, n),
+		cur:     make([]State, n),
+		curFrom: make([]int64, n),
+		started: make([]bool, n),
+	}
+}
+
+// NumRanks returns the number of ranks.
+func (t *Trace) NumRanks() int { return len(t.ranks) }
+
+// Enter records that rank switches to state s at the given cycle.
+// Repeated Enter calls with the same state are merged.  Cycle numbers per
+// rank must be non-decreasing.
+func (t *Trace) Enter(rank int, s State, cycle int64) {
+	if t.finished {
+		panic("trace: Enter after Finish")
+	}
+	if s >= NumStates {
+		panic(fmt.Sprintf("trace: invalid state %d", s))
+	}
+	if !t.started[rank] {
+		t.started[rank] = true
+		t.cur[rank] = s
+		t.curFrom[rank] = cycle
+		return
+	}
+	if cycle < t.curFrom[rank] {
+		panic(fmt.Sprintf("trace: rank %d time went backwards (%d < %d)", rank, cycle, t.curFrom[rank]))
+	}
+	if t.cur[rank] == s {
+		return
+	}
+	if cycle > t.curFrom[rank] {
+		t.ranks[rank] = append(t.ranks[rank], Interval{State: t.cur[rank], From: t.curFrom[rank], To: cycle})
+	}
+	t.cur[rank] = s
+	t.curFrom[rank] = cycle
+}
+
+// Finish closes all open intervals at the given cycle.
+func (t *Trace) Finish(cycle int64) {
+	if t.finished {
+		return
+	}
+	for r := range t.ranks {
+		if t.started[r] && cycle > t.curFrom[r] {
+			t.ranks[r] = append(t.ranks[r], Interval{State: t.cur[r], From: t.curFrom[r], To: cycle})
+		}
+	}
+	t.end = cycle
+	t.finished = true
+}
+
+// End returns the cycle at which the trace was finished.
+func (t *Trace) End() int64 { return t.end }
+
+// Intervals returns the recorded intervals of a rank.  The trace must be
+// finished.
+func (t *Trace) Intervals(rank int) []Interval {
+	t.mustBeFinished()
+	return t.ranks[rank]
+}
+
+func (t *Trace) mustBeFinished() {
+	if !t.finished {
+		panic("trace: not finished")
+	}
+}
+
+// RankStats aggregates a rank's time per state.
+type RankStats struct {
+	// Cycles per state.
+	Cycles [NumStates]int64
+	// Total traced cycles for the rank.
+	Total int64
+}
+
+// Pct returns the percentage of total time spent in state s.
+func (rs RankStats) Pct(s State) float64 {
+	if rs.Total == 0 {
+		return 0
+	}
+	return 100 * float64(rs.Cycles[s]) / float64(rs.Total)
+}
+
+// RankStats computes the per-state totals of a rank.
+func (t *Trace) RankStats(rank int) RankStats {
+	t.mustBeFinished()
+	var rs RankStats
+	for _, iv := range t.ranks[rank] {
+		rs.Cycles[iv.State] += iv.Duration()
+		rs.Total += iv.Duration()
+	}
+	return rs
+}
+
+// Imbalance returns the paper's imbalance metric: the maximum percentage
+// of time any rank spent waiting at synchronization points.
+func (t *Trace) Imbalance() float64 {
+	t.mustBeFinished()
+	max := 0.0
+	for r := range t.ranks {
+		if p := t.RankStats(r).Pct(Sync); p > max {
+			max = p
+		}
+	}
+	return max
+}
+
+// stateAt returns the dominant state of rank within [from, to).
+func (t *Trace) stateAt(rank int, from, to int64) State {
+	var weight [NumStates]int64
+	for _, iv := range t.ranks[rank] {
+		lo, hi := iv.From, iv.To
+		if lo < from {
+			lo = from
+		}
+		if hi > to {
+			hi = to
+		}
+		if hi > lo {
+			weight[iv.State] += hi - lo
+		}
+	}
+	best, bestW := Idle, int64(0)
+	for s := State(0); s < NumStates; s++ {
+		if weight[s] > bestW {
+			best, bestW = s, weight[s]
+		}
+	}
+	return best
+}
+
+// Render draws the trace as an ASCII timeline, one row per rank, in the
+// style of the paper's Figures 2-4: '█' compute, '░' sync wait, '▓'
+// communication, ' ' idle.
+func (t *Trace) Render(width int) string {
+	t.mustBeFinished()
+	if width < 8 {
+		width = 8
+	}
+	var b strings.Builder
+	b.WriteString(fmt.Sprintf("time: %d cycles, imbalance %.2f%%\n", t.end, t.Imbalance()))
+	for r := range t.ranks {
+		b.WriteString(fmt.Sprintf("P%-3d |", r+1))
+		for w := 0; w < width; w++ {
+			from := t.end * int64(w) / int64(width)
+			to := t.end * int64(w+1) / int64(width)
+			b.WriteRune(glyphs[t.stateAt(r, from, to)])
+		}
+		st := t.RankStats(r)
+		b.WriteString(fmt.Sprintf("| comp %5.1f%% sync %5.1f%%\n", st.Pct(Compute), st.Pct(Sync)))
+	}
+	return b.String()
+}
+
+// WriteCSV emits the intervals as CSV: rank,state,from,to.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	t.mustBeFinished()
+	if _, err := fmt.Fprintln(w, "rank,state,from,to"); err != nil {
+		return err
+	}
+	for r := range t.ranks {
+		for _, iv := range t.ranks[r] {
+			if _, err := fmt.Fprintf(w, "%d,%s,%d,%d\n", r, iv.State, iv.From, iv.To); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WritePRV emits a PARAVER-like state-record trace: one
+// "1:cpu:appl:task:thread:begin:end:state" line per interval, preceded by
+// a #Paraver header.  It is sufficient for downstream tooling that parses
+// the classic .prv state records.
+func (t *Trace) WritePRV(w io.Writer) error {
+	t.mustBeFinished()
+	if _, err := fmt.Fprintf(w, "#Paraver (repro):%d:%d:1:%d\n", t.end, len(t.ranks), len(t.ranks)); err != nil {
+		return err
+	}
+	for r := range t.ranks {
+		for _, iv := range t.ranks[r] {
+			// PARAVER running=1, waiting=7 (synchronization), group
+			// communication=9, idle=0.
+			var code int
+			switch iv.State {
+			case Compute:
+				code = 1
+			case Sync:
+				code = 7
+			case Comm:
+				code = 9
+			default:
+				code = 0
+			}
+			if _, err := fmt.Fprintf(w, "1:%d:1:%d:1:%d:%d:%d\n", r+1, r+1, iv.From, iv.To, code); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

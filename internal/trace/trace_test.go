@@ -1,0 +1,232 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func buildSimple(t *testing.T) *Trace {
+	t.Helper()
+	tr := New(2)
+	tr.Enter(0, Compute, 0)
+	tr.Enter(0, Sync, 600)
+	tr.Enter(1, Compute, 0)
+	tr.Finish(1000)
+	return tr
+}
+
+func TestBasicIntervals(t *testing.T) {
+	tr := buildSimple(t)
+	iv0 := tr.Intervals(0)
+	if len(iv0) != 2 {
+		t.Fatalf("rank 0 has %d intervals, want 2", len(iv0))
+	}
+	if iv0[0] != (Interval{Compute, 0, 600}) || iv0[1] != (Interval{Sync, 600, 1000}) {
+		t.Errorf("rank 0 intervals = %+v", iv0)
+	}
+	if d := iv0[1].Duration(); d != 400 {
+		t.Errorf("duration = %d, want 400", d)
+	}
+	if tr.End() != 1000 || tr.NumRanks() != 2 {
+		t.Error("End/NumRanks wrong")
+	}
+}
+
+func TestStats(t *testing.T) {
+	tr := buildSimple(t)
+	st := tr.RankStats(0)
+	if st.Total != 1000 || st.Cycles[Compute] != 600 || st.Cycles[Sync] != 400 {
+		t.Errorf("stats = %+v", st)
+	}
+	if got := st.Pct(Sync); got != 40 {
+		t.Errorf("sync pct = %f, want 40", got)
+	}
+	if got := tr.Imbalance(); got != 40 {
+		t.Errorf("imbalance = %f, want 40 (max sync pct)", got)
+	}
+	var empty RankStats
+	if empty.Pct(Compute) != 0 {
+		t.Error("empty stats must report 0")
+	}
+}
+
+func TestMergeSameState(t *testing.T) {
+	tr := New(1)
+	tr.Enter(0, Compute, 0)
+	tr.Enter(0, Compute, 100)
+	tr.Enter(0, Compute, 200)
+	tr.Finish(300)
+	if n := len(tr.Intervals(0)); n != 1 {
+		t.Errorf("got %d intervals, want 1 merged", n)
+	}
+}
+
+func TestZeroLengthIntervalsDropped(t *testing.T) {
+	tr := New(1)
+	tr.Enter(0, Compute, 0)
+	tr.Enter(0, Sync, 0) // zero-length compute
+	tr.Enter(0, Comm, 50)
+	tr.Finish(50) // zero-length comm
+	ivs := tr.Intervals(0)
+	if len(ivs) != 1 || ivs[0].State != Sync {
+		t.Errorf("intervals = %+v, want single sync interval", ivs)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	cases := map[string]func(){
+		"zero ranks":    func() { New(0) },
+		"bad state":     func() { New(1).Enter(0, NumStates, 0) },
+		"not finished":  func() { New(1).Intervals(0) },
+		"time backward": func() { tr := New(1); tr.Enter(0, Compute, 100); tr.Enter(0, Sync, 50) },
+		"after finish":  func() { tr := New(1); tr.Finish(10); tr.Enter(0, Compute, 20) },
+	}
+	for name, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDoubleFinishIsNoop(t *testing.T) {
+	tr := New(1)
+	tr.Enter(0, Compute, 0)
+	tr.Finish(100)
+	tr.Finish(200)
+	if tr.End() != 100 {
+		t.Errorf("End = %d, want 100", tr.End())
+	}
+}
+
+func TestRender(t *testing.T) {
+	tr := buildSimple(t)
+	out := tr.Render(40)
+	if !strings.Contains(out, "P1") || !strings.Contains(out, "P2") {
+		t.Error("render missing rank labels")
+	}
+	if !strings.Contains(out, "█") || !strings.Contains(out, "░") {
+		t.Error("render missing compute/sync glyphs")
+	}
+	if !strings.Contains(out, "imbalance 40.00%") {
+		t.Errorf("render missing imbalance header:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Errorf("render has %d lines, want 3", len(lines))
+	}
+	// Tiny widths are clamped, not broken.
+	if small := tr.Render(1); !strings.Contains(small, "P1") {
+		t.Error("render with tiny width broken")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tr := buildSimple(t)
+	var b strings.Builder
+	if err := tr.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "rank,state,from,to\n") {
+		t.Error("CSV header missing")
+	}
+	if !strings.Contains(out, "0,compute,0,600") || !strings.Contains(out, "0,sync,600,1000") {
+		t.Errorf("CSV rows missing:\n%s", out)
+	}
+}
+
+func TestWritePRV(t *testing.T) {
+	tr := buildSimple(t)
+	var b strings.Builder
+	if err := tr.WritePRV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "#Paraver") {
+		t.Error("PRV header missing")
+	}
+	if !strings.Contains(out, "1:1:1:1:1:0:600:1") {
+		t.Errorf("PRV running record missing:\n%s", out)
+	}
+	if !strings.Contains(out, ":600:1000:7") {
+		t.Errorf("PRV waiting record missing:\n%s", out)
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	for s := State(0); s < NumStates; s++ {
+		if s.String() == "" {
+			t.Errorf("state %d has no name", s)
+		}
+	}
+	if State(42).String() == "" {
+		t.Error("invalid state must still format")
+	}
+}
+
+// Property: per-rank state cycle totals always sum to the rank's traced
+// total, and the imbalance is the max sync percentage.
+func TestPropStatsConsistent(t *testing.T) {
+	f := func(switches []uint8) bool {
+		tr := New(2)
+		cycle := int64(0)
+		tr.Enter(0, Compute, 0)
+		tr.Enter(1, Sync, 0)
+		for _, s := range switches {
+			cycle += int64(s%100) + 1
+			tr.Enter(0, State(s%uint8(NumStates)), cycle)
+			tr.Enter(1, State((s/4)%uint8(NumStates)), cycle)
+		}
+		tr.Finish(cycle + 10)
+		maxSync := 0.0
+		for r := 0; r < 2; r++ {
+			st := tr.RankStats(r)
+			var sum int64
+			for s := State(0); s < NumStates; s++ {
+				sum += st.Cycles[s]
+			}
+			if sum != st.Total {
+				return false
+			}
+			if p := st.Pct(Sync); p > maxSync {
+				maxSync = p
+			}
+		}
+		return tr.Imbalance() == maxSync
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: intervals of a rank are contiguous, ordered, and cover
+// [firstEnter, end).
+func TestPropIntervalsContiguous(t *testing.T) {
+	f := func(switches []uint8) bool {
+		tr := New(1)
+		cycle := int64(0)
+		tr.Enter(0, Compute, 0)
+		for _, s := range switches {
+			cycle += int64(s%50) + 1
+			tr.Enter(0, State(s%uint8(NumStates)), cycle)
+		}
+		tr.Finish(cycle + 5)
+		prev := int64(0)
+		for _, iv := range tr.Intervals(0) {
+			if iv.From != prev || iv.To <= iv.From {
+				return false
+			}
+			prev = iv.To
+		}
+		return prev == tr.End()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

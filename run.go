@@ -1,0 +1,273 @@
+package smtbalance
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/hwpri"
+	"repro/internal/mpisim"
+	"repro/internal/oskernel"
+	"repro/internal/power5"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Phase is one step of a rank's program.
+type Phase struct {
+	inner mpisim.Phase
+}
+
+// Compute returns a compute phase executing n instructions of the named
+// kernel kind.  Kinds: "fpu", "fxu", "l1", "l2", "mem", "branchy",
+// "mixed" (see internal/workload).  Unknown kinds panic; use ParseKind to
+// validate user input first.
+func Compute(kind string, n int64) Phase {
+	k, err := workload.ParseKind(kind)
+	if err != nil {
+		panic(err)
+	}
+	return Phase{mpisim.Compute(workload.Load{Kind: k, N: n})}
+}
+
+// ComputeSized is Compute with an explicit data footprint in bytes,
+// overriding the kernel kind's default working-set size.
+func ComputeSized(kind string, n, footprint int64) Phase {
+	k, err := workload.ParseKind(kind)
+	if err != nil {
+		panic(err)
+	}
+	return Phase{mpisim.Compute(workload.Load{Kind: k, N: n, Footprint: footprint})}
+}
+
+// KernelKinds lists the valid Compute kernel names.
+func KernelKinds() []string {
+	return []string{"fpu", "fxu", "l1", "l2", "mem", "branchy", "mixed"}
+}
+
+// ParseKind validates a kernel kind name.
+func ParseKind(kind string) error {
+	_, err := workload.ParseKind(kind)
+	return err
+}
+
+// Barrier returns a global synchronization phase (mpi_barrier).
+func Barrier() Phase { return Phase{mpisim.Barrier()} }
+
+// Exchange returns a neighbour-exchange phase: non-blocking sends/receives
+// of the given volume to each peer rank, followed by a waitall.
+func Exchange(bytes int64, peers ...int) Phase {
+	return Phase{mpisim.Exchange(bytes, peers...)}
+}
+
+// Job is an MPI-style application: one phase program per rank.
+type Job struct {
+	// Name labels the job in diagnostics.
+	Name string
+	// Ranks holds each rank's program.
+	Ranks [][]Phase
+}
+
+// Placement pins ranks to the machine's logical CPUs.  CPUs 0 and 1 are
+// the two SMT contexts of core 0; CPUs 2 and 3 of core 1 — so ranks on
+// CPUs 2k and 2k+1 share a core and compete for its decode cycles.
+type Placement struct {
+	// CPU maps rank -> logical CPU (0..3).
+	CPU []int
+	// Priority maps rank -> hardware thread priority.
+	Priority []Priority
+}
+
+// PinInOrder pins rank i to CPU i at medium priority — the paper's
+// reference configuration (Case A).
+func PinInOrder(n int) Placement {
+	pl := Placement{CPU: make([]int, n), Priority: make([]Priority, n)}
+	for i := range pl.CPU {
+		pl.CPU[i] = i
+		pl.Priority[i] = PriorityMedium
+	}
+	return pl
+}
+
+// IterationStats is delivered to Options.OnIteration at every barrier
+// release.
+type IterationStats struct {
+	// Index counts barrier releases from 0.
+	Index int
+	// ComputeCycles is each rank's computation time since the previous
+	// release.
+	ComputeCycles []int64
+	// ArrivalCycle is each rank's barrier arrival time.
+	ArrivalCycle []int64
+	// ReleaseCycle is when the barrier opened.
+	ReleaseCycle int64
+}
+
+// Options tunes a run.  The zero value (or nil) is the paper's
+// environment: the patched kernel with 1000 Hz-equivalent timer ticks,
+// warmed caches, no balancer.
+type Options struct {
+	// VanillaKernel removes the paper's kernel patch: priorities decay
+	// to medium at the first interrupt and the procfs interface is gone.
+	VanillaKernel bool
+	// NoOSNoise disables timer ticks (for exactly-reproducible micro
+	// experiments).
+	NoOSNoise bool
+	// ColdCaches skips the steady-state cache pre-warming.
+	ColdCaches bool
+	// DynamicBalance attaches the online OS-level balancer (the paper's
+	// Section VIII proposal): it watches per-iteration computation times
+	// and retunes priorities through the procfs interface.
+	DynamicBalance bool
+	// MaxPriorityDiff bounds the dynamic balancer's priority difference
+	// (default 1; the paper's Case D shows why large differences are
+	// dangerous).
+	MaxPriorityDiff int
+	// OnIteration, if set, is called at every barrier release.
+	OnIteration func(IterationStats)
+	// MaxCycles aborts runs that stop progressing (0 = generous default).
+	MaxCycles int64
+}
+
+// RankSummary is one rank's outcome.
+type RankSummary struct {
+	// CPU and Core locate the rank on the machine.
+	CPU, Core int
+	// Priority is the rank's launch priority.
+	Priority Priority
+	// ComputePct, SyncPct and CommPct split the rank's time between
+	// useful work, busy-waiting and communication.
+	ComputePct, SyncPct, CommPct float64
+	// Instructions counts completed instructions on the rank's context.
+	Instructions int64
+}
+
+// Result is a finished run.
+type Result struct {
+	// Seconds is the execution time on the simulated 1.65 GHz clock.
+	Seconds float64
+	// Cycles is the execution time in processor cycles.
+	Cycles int64
+	// ImbalancePct is the paper's imbalance metric: the maximum
+	// percentage of time any rank spent waiting.
+	ImbalancePct float64
+	// Ranks summarizes each rank.
+	Ranks []RankSummary
+	// Iterations is the number of barrier releases.
+	Iterations int
+	// BalancerMoves counts priority rewrites by the dynamic balancer.
+	BalancerMoves int
+
+	tr *trace.Trace
+}
+
+// Timeline renders the run as an ASCII timeline in the style of the
+// paper's Figures 2-4: '█' compute, '░' waiting, '▓' communication.
+func (r *Result) Timeline(width int) string { return r.tr.Render(width) }
+
+// WriteTraceCSV writes the state intervals as CSV (rank,state,from,to).
+func (r *Result) WriteTraceCSV(w io.Writer) error { return r.tr.WriteCSV(w) }
+
+// WriteParaver writes a PARAVER-like .prv state-record trace.
+func (r *Result) WriteParaver(w io.Writer) error { return r.tr.WritePRV(w) }
+
+// Run executes the job under the placement.
+func Run(job Job, pl Placement, opts *Options) (*Result, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	inner := &mpisim.Job{Name: job.Name}
+	for _, prog := range job.Ranks {
+		var p mpisim.Program
+		for _, ph := range prog {
+			p = append(p, ph.inner)
+		}
+		inner.Ranks = append(inner.Ranks, p)
+	}
+	ipl := mpisim.Placement{CPU: pl.CPU}
+	for _, p := range pl.Priority {
+		if !p.Valid() {
+			return nil, fmt.Errorf("smtbalance: invalid priority %d", p)
+		}
+		ipl.Prio = append(ipl.Prio, hwpri.Priority(p))
+	}
+	kcfg := oskernel.DefaultConfig()
+	kcfg.Patched = !opts.VanillaKernel
+	if opts.NoOSNoise {
+		kcfg.TickPeriod = 0
+	}
+	cfg := mpisim.Config{
+		Chip:       power5.DefaultConfig(),
+		Kernel:     kcfg,
+		KernelSet:  true,
+		MaxCycles:  opts.MaxCycles,
+		ColdCaches: opts.ColdCaches,
+	}
+	var bal *core.Dynamic
+	if opts.DynamicBalance {
+		maxDiff := opts.MaxPriorityDiff
+		if maxDiff <= 0 {
+			maxDiff = 1
+		}
+		bal = core.NewDynamic(core.DynamicConfig{CPU: pl.CPU, MaxDiff: maxDiff})
+	}
+	if bal != nil || opts.OnIteration != nil {
+		cfg.OnIteration = func(ev mpisim.IterationEvent) {
+			if bal != nil {
+				bal.OnIteration(ev)
+			}
+			if opts.OnIteration != nil {
+				opts.OnIteration(IterationStats{
+					Index:         ev.Index,
+					ComputeCycles: ev.ComputeCycles,
+					ArrivalCycle:  ev.Arrival,
+					ReleaseCycle:  ev.Release,
+				})
+			}
+		}
+	}
+	res, err := mpisim.Run(inner, ipl, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		Seconds:      res.Seconds,
+		Cycles:       res.Cycles,
+		ImbalancePct: res.Imbalance,
+		Iterations:   res.Iterations,
+		tr:           res.Trace,
+	}
+	if bal != nil {
+		out.BalancerMoves = bal.Moves
+	}
+	for _, rr := range res.Ranks {
+		out.Ranks = append(out.Ranks, RankSummary{
+			CPU:          rr.CPU,
+			Core:         rr.Core,
+			Priority:     Priority(rr.Prio),
+			ComputePct:   rr.ComputePct,
+			SyncPct:      rr.SyncPct,
+			CommPct:      rr.CommPct,
+			Instructions: rr.Instructions,
+		})
+	}
+	return out, nil
+}
+
+// SuggestPlacement derives a static placement and priority plan from the
+// per-rank work estimates (e.g. per-iteration instruction counts from a
+// profiling run): the heaviest rank is paired with the lightest on the
+// same core and each pair's priority difference is chosen with the
+// decode-share performance model — the procedure the paper's authors
+// followed by hand for Tables IV-VI.
+func SuggestPlacement(works []float64) (Placement, error) {
+	plan, err := core.PlanStatic(works, 2, core.DefaultModel())
+	if err != nil {
+		return Placement{}, err
+	}
+	pl := Placement{CPU: plan.CPU}
+	for _, p := range plan.Prio {
+		pl.Priority = append(pl.Priority, Priority(p))
+	}
+	return pl, nil
+}
