@@ -16,7 +16,16 @@
 //
 // Add -check to fail (exit 1) if any experiment loses the paper's shape,
 // -traces to print the per-case timelines, and -scale to shrink/grow the
-// workloads.
+// workloads.  Independent experiment cases fan out across a worker pool;
+// -workers 1 forces the old serial behavior.
+//
+// The sweep subcommand searches the placement × priority space instead
+// of replaying the paper's hand-picked cases:
+//
+//	mtbalance sweep -workers 4 -top 10 -objective cycles
+//	mtbalance sweep -space os -objective weighted:1,0.5 -format csv
+//
+// Run `mtbalance sweep -h` for the full flag list.
 package main
 
 import (
@@ -29,16 +38,20 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "sweep" {
+		os.Exit(runSweep(os.Args[2:]))
+	}
 	var (
 		experiment = flag.String("experiment", "all", "which experiment to run (table2, table3, table4, table5, table6, figure1, kernelpatch, dynamic, all)")
 		scale      = flag.Float64("scale", 1.0, "workload scale factor")
 		width      = flag.Int("width", 100, "timeline width in columns")
 		traces     = flag.Bool("traces", false, "print per-case timelines (the paper's figures)")
 		check      = flag.Bool("check", false, "verify the paper's shape and exit non-zero on violation")
+		workers    = flag.Int("workers", 0, "concurrent simulator runs per experiment (0 = one per CPU, 1 = serial)")
 	)
 	flag.Parse()
 
-	opt := experiments.Options{Scale: *scale, TraceWidth: *width}
+	opt := experiments.Options{Scale: *scale, TraceWidth: *width, Workers: *workers}
 	failed := 0
 	run := func(name string, f func() error) {
 		if *experiment != "all" && *experiment != name {

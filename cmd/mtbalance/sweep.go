@@ -1,0 +1,163 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	smtbalance "repro"
+	"repro/internal/metrics"
+)
+
+// sweepUsage documents the sweep subcommand.
+const sweepUsage = `usage: mtbalance sweep [flags]
+
+Exhaustively search the placement x priority space of a synthetic
+4-rank job across a worker pool and rank the configurations — the
+search behind the paper's Tables IV-VI, automated.
+
+`
+
+// runSweep implements `mtbalance sweep`.
+func runSweep(args []string) int {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	var (
+		workers   = fs.Int("workers", 0, "concurrent simulator runs (0 = one per CPU, 1 = serial)")
+		top       = fs.Int("top", 10, "keep the best K configurations (0 = all)")
+		objective = fs.String("objective", "cycles", "ranking objective: cycles, imbalance, or weighted:<cw>,<iw>")
+		space     = fs.String("space", "user", "priority alphabet: user (2-4) or os (2-6)")
+		fixed     = fs.Bool("fix-pairing", false, "keep ranks 2c,2c+1 paired on core c instead of sweeping pairings")
+		ranks     = fs.String("ranks", "50000,220000,50000,220000", "per-rank compute instruction counts, comma-separated (even count)")
+		kind      = fs.String("kind", "fpu", "compute kernel kind ("+strings.Join(smtbalance.KernelKinds(), ", ")+")")
+		iters     = fs.Int("iters", 2, "compute+barrier iterations per rank")
+		scale     = fs.Float64("scale", 1.0, "workload scale factor")
+		format    = fs.String("format", "table", "output format: table or csv")
+	)
+	fs.Usage = func() {
+		fmt.Fprint(os.Stderr, sweepUsage)
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+
+	if err := smtbalance.ParseKind(*kind); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	var loads []int64
+	for _, f := range strings.Split(*ranks, ",") {
+		n, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "bad -ranks entry %q: want positive instruction counts\n", f)
+			return 2
+		}
+		n = int64(float64(n) * *scale)
+		if n < 1 {
+			n = 1
+		}
+		loads = append(loads, n)
+	}
+
+	job := smtbalance.Job{Name: "sweep"}
+	for _, n := range loads {
+		var prog []smtbalance.Phase
+		for i := 0; i < *iters; i++ {
+			prog = append(prog, smtbalance.Compute(*kind, n), smtbalance.Barrier())
+		}
+		job.Ranks = append(job.Ranks, prog)
+	}
+
+	var sp smtbalance.Space
+	switch *space {
+	case "user":
+		sp = smtbalance.UserSettableSpace()
+	case "os":
+		sp = smtbalance.OSSettableSpace()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -space %q (want user or os)\n", *space)
+		return 2
+	}
+	sp.FixPairing = *fixed
+
+	obj, err := parseObjective(*objective)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if *format != "table" && *format != "csv" {
+		fmt.Fprintf(os.Stderr, "unknown -format %q (want table or csv)\n", *format)
+		return 2
+	}
+
+	res, err := smtbalance.Sweep(job, sp, &smtbalance.SweepOptions{
+		Workers:   *workers,
+		Top:       *top,
+		Objective: obj,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	if *format == "csv" {
+		if err := res.WriteCSV(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	} else {
+		title := fmt.Sprintf("Sweep — %d configurations, objective %s, %d workers",
+			res.Evaluated, *objective, res.Workers)
+		tb := metrics.NewTable(title, "Rank", "CPUs", "Prios", "Cycles", "Exec", "Imb%", "Score")
+		for i, e := range res.Entries {
+			tb.AddRow(fmt.Sprint(i+1), joinInts(e.Placement.CPU), joinPrios(e.Placement.Priority),
+				fmt.Sprint(e.Cycles), metrics.Seconds(e.Seconds),
+				fmt.Sprintf("%.2f", e.ImbalancePct), fmt.Sprintf("%.4f", e.Score))
+		}
+		fmt.Println(tb.String())
+		if best, err := res.Best(); err == nil {
+			fmt.Printf("best: CPUs %s, priorities %s — %s, imbalance %.2f%%\n",
+				joinInts(best.Placement.CPU), joinPrios(best.Placement.Priority),
+				metrics.Seconds(best.Seconds), best.ImbalancePct)
+		}
+	}
+	return 0
+}
+
+// parseObjective parses -objective values.
+func parseObjective(s string) (smtbalance.Objective, error) {
+	switch {
+	case s == "cycles":
+		return smtbalance.MinimizeCycles(), nil
+	case s == "imbalance":
+		return smtbalance.MinimizeImbalance(), nil
+	case strings.HasPrefix(s, "weighted:"):
+		parts := strings.Split(strings.TrimPrefix(s, "weighted:"), ",")
+		if len(parts) != 2 {
+			return smtbalance.Objective{}, fmt.Errorf("bad -objective %q: want weighted:<cyclesW>,<imbalanceW>", s)
+		}
+		cw, err1 := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		iw, err2 := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err1 != nil || err2 != nil {
+			return smtbalance.Objective{}, fmt.Errorf("bad -objective %q: non-numeric weights", s)
+		}
+		return smtbalance.WeightedObjective(cw, iw), nil
+	}
+	return smtbalance.Objective{}, fmt.Errorf("unknown -objective %q (want cycles, imbalance, or weighted:<cw>,<iw>)", s)
+}
+
+func joinInts(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = strconv.Itoa(x)
+	}
+	return strings.Join(parts, " ")
+}
+
+func joinPrios(ps []smtbalance.Priority) string {
+	parts := make([]string, len(ps))
+	for i, p := range ps {
+		parts[i] = strconv.Itoa(int(p))
+	}
+	return strings.Join(parts, " ")
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/mpisim"
 	"repro/internal/oskernel"
 	"repro/internal/power5"
+	"repro/internal/sweep"
 )
 
 // KernelPatchResult compares the balanced MetBench case C on the patched
@@ -42,14 +43,15 @@ func KernelPatchAblation(opt Options) (*KernelPatchResult, error) {
 			KernelSet: true,
 		})
 	}
-	p, err := run(true)
-	if err != nil {
+	// The two kernel variants are independent runs: fan them out.
+	outs := sweep.Map(2, opt.Workers, func(i int) outcome[*mpisim.Result] {
+		r, err := run(i == 0)
+		return outcome[*mpisim.Result]{r, err}
+	})
+	if err := firstErr(outs); err != nil {
 		return nil, err
 	}
-	v, err := run(false)
-	if err != nil {
-		return nil, err
-	}
+	p, v := outs[0].val, outs[1].val
 	return &KernelPatchResult{
 		PatchedSeconds:   p.Seconds,
 		VanillaSeconds:   v.Seconds,
@@ -110,14 +112,20 @@ func DynamicExtension(opt Options) (*DynamicResult, error) {
 		}
 		return mpisim.Run(job, pl, mpisim.Config{})
 	}
-	ref, err := runStatic(siesta.CaseA)
-	if err != nil {
+	// The two static references are independent of each other and of
+	// the dynamic run below; overlap them.
+	statics := sweep.Map(2, opt.Workers, func(i int) outcome[*mpisim.Result] {
+		c := siesta.CaseA
+		if i == 1 {
+			c = siesta.CaseC
+		}
+		r, err := runStatic(c)
+		return outcome[*mpisim.Result]{r, err}
+	})
+	if err := firstErr(statics); err != nil {
 		return nil, err
 	}
-	static, err := runStatic(siesta.CaseC)
-	if err != nil {
-		return nil, err
-	}
+	ref, static := statics[0].val, statics[1].val
 
 	plC, err := siesta.Placement(siesta.CaseC)
 	if err != nil {

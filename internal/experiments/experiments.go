@@ -18,6 +18,7 @@ import (
 	"repro/internal/mpisim"
 	"repro/internal/oskernel"
 	"repro/internal/power5"
+	"repro/internal/sweep"
 )
 
 // Options tunes experiment execution.
@@ -27,6 +28,11 @@ type Options struct {
 	Scale float64
 	// TraceWidth is the column width of rendered timelines (0 = 100).
 	TraceWidth int
+	// Workers caps concurrent simulator runs for experiments whose
+	// cases are independent; 0 means one per CPU, 1 forces the serial
+	// order.  Results are identical for every value: each case lands in
+	// its input-order slot regardless of completion order.
+	Workers int
 }
 
 func (o Options) normalize() Options {
@@ -115,6 +121,50 @@ func runCase(job *mpisim.Job, pl mpisim.Placement, opt Options, label string, pr
 		})
 	}
 	return cr, nil
+}
+
+// caseSpec is one independent case of a table experiment: its own job
+// and placement, ready to run concurrently with its siblings.
+type caseSpec struct {
+	label string
+	job   *mpisim.Job
+	pl    mpisim.Placement
+	procs []string
+}
+
+// outcome carries one pooled run of any result type; firstErr surfaces
+// the lowest-index failure, matching the error the serial loop would
+// have returned.
+type outcome[T any] struct {
+	val T
+	err error
+}
+
+func firstErr[T any](outs []outcome[T]) error {
+	for _, o := range outs {
+		if o.err != nil {
+			return o.err
+		}
+	}
+	return nil
+}
+
+// runCases executes independent cases through the shared worker pool.
+// The output preserves spec order whatever the concurrency, so parallel
+// and serial experiment runs render byte-identical tables.
+func runCases(specs []caseSpec, opt Options) ([]CaseResult, error) {
+	outs := sweep.Map(len(specs), opt.Workers, func(i int) outcome[CaseResult] {
+		cr, err := runCase(specs[i].job, specs[i].pl, opt, specs[i].label, specs[i].procs)
+		return outcome[CaseResult]{cr, err}
+	})
+	if err := firstErr(outs); err != nil {
+		return nil, err
+	}
+	cases := make([]CaseResult, 0, len(outs))
+	for _, o := range outs {
+		cases = append(cases, o.val)
+	}
+	return cases, nil
 }
 
 // FormatCases renders experiment case rows as a paper-style table.

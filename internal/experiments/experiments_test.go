@@ -1,13 +1,49 @@
 package experiments
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
 
 // testOpt runs experiments at a reduced scale to keep the suite fast; the
 // full-scale run is exercised by the benchmarks and the mtbalance CLI.
+// Workers is left at 0, so independent cases fan out across the CPUs.
 var testOpt = Options{Scale: 0.5, TraceWidth: 60}
+
+// TestParallelCasesMatchSerial asserts that fanning an experiment's
+// cases across the worker pool changes nothing observable: tables,
+// traces and metrics are byte-identical to the serial run.
+func TestParallelCasesMatchSerial(t *testing.T) {
+	serialOpt, parallelOpt := testOpt, testOpt
+	serialOpt.Workers = 1
+	parallelOpt.Workers = 4
+
+	serial, err := Table4(serialOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Table4(parallelOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("Table4 differs between workers=1 and workers=4:\n%s\n%s",
+			FormatCases("serial", serial), FormatCases("parallel", parallel))
+	}
+
+	srows, err := Table2(serialOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prows, err := Table2(parallelOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(srows, prows) {
+		t.Error("Table2 differs between workers=1 and workers=4")
+	}
+}
 
 func TestTable2(t *testing.T) {
 	rows, err := Table2(testOpt)

@@ -7,6 +7,7 @@ import (
 	"repro/internal/mpisim"
 	"repro/internal/oskernel"
 	"repro/internal/power5"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -59,21 +60,28 @@ func ExtrinsicNoise(opt Options) (*ExtrinsicResult, error) {
 			KernelSet: true,
 		})
 	}
-	clean, err := run(false, mpisim.DefaultPlacement(4))
-	if err != nil {
-		return nil, err
-	}
-	noisy, err := run(true, mpisim.DefaultPlacement(4))
-	if err != nil {
-		return nil, err
-	}
-	comp, err := run(true, mpisim.Placement{
+	// Clean, noisy and compensated runs are independent: fan them out.
+	compensated := mpisim.Placement{
 		CPU:  []int{0, 1, 2, 3},
 		Prio: []hwpri.Priority{5, 4, 4, 4}, // favor the daemon's victim
+	}
+	outs := sweep.Map(3, opt.Workers, func(i int) outcome[*mpisim.Result] {
+		switch i {
+		case 0:
+			r, err := run(false, mpisim.DefaultPlacement(4))
+			return outcome[*mpisim.Result]{r, err}
+		case 1:
+			r, err := run(true, mpisim.DefaultPlacement(4))
+			return outcome[*mpisim.Result]{r, err}
+		default:
+			r, err := run(true, compensated)
+			return outcome[*mpisim.Result]{r, err}
+		}
 	})
-	if err != nil {
+	if err := firstErr(outs); err != nil {
 		return nil, err
 	}
+	clean, noisy, comp := outs[0].val, outs[1].val, outs[2].val
 	return &ExtrinsicResult{
 		CleanSeconds: clean.Seconds, CleanImbalance: clean.Imbalance,
 		NoisySeconds: noisy.Seconds, NoisyImbalance: noisy.Imbalance,

@@ -7,6 +7,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/metrics"
 	"repro/internal/power5"
+	"repro/internal/sweep"
 )
 
 // DecodeRow is one row of the Table II reproduction: a priority difference
@@ -67,16 +68,18 @@ func Table2(opt Options) ([]DecodeRow, error) {
 	opt = opt.normalize()
 	cycles := scaleLoad(400_000, opt.Scale)
 	// Priority pairs realizing differences 0..4 within the OS range.
+	// Each row measures its own chip instance, so rows fan out across
+	// the worker pool.
 	pairs := [][2]hwpri.Priority{{4, 4}, {5, 4}, {6, 4}, {6, 3}, {6, 2}}
-	var rows []DecodeRow
-	for d, p := range pairs {
+	rows := sweep.Map(len(pairs), opt.Workers, func(d int) DecodeRow {
+		p := pairs[d]
 		al := hwpri.Alloc(p[0], p[1])
 		fa, fb, ipca, ipcb := measureDecode(p[0], p[1], cycles)
 		r := 2
 		if d > 0 {
 			r = hwpri.R(p[0], p[1])
 		}
-		rows = append(rows, DecodeRow{
+		return DecodeRow{
 			Diff:      d,
 			R:         r,
 			SlotsA:    al.Slots[0],
@@ -85,8 +88,8 @@ func Table2(opt Options) ([]DecodeRow, error) {
 			MeasuredB: fb,
 			IPCA:      ipca,
 			IPCB:      ipcb,
-		})
-	}
+		}
+	})
 	return rows, nil
 }
 

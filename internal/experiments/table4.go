@@ -27,24 +27,26 @@ func Table4(opt Options) ([]CaseResult, error) {
 	cfg.LightLoad = scaleLoad(cfg.LightLoad, opt.Scale)
 	job := metbench.Job(cfg)
 
-	var out []CaseResult
+	var specs []caseSpec
 	for _, c := range metbench.Cases() {
 		pl, err := metbench.Placement(c)
 		if err != nil {
 			return nil, err
 		}
-		cr, err := runCase(job, pl, opt, string(c), nil)
-		if err != nil {
-			return nil, err
+		specs = append(specs, caseSpec{label: string(c), job: job, pl: pl})
+	}
+	out, err := runCases(specs, opt)
+	if err != nil {
+		return nil, err
+	}
+	for k := range out {
+		ref := paperTable4[out[k].Case]
+		out[k].PaperImbalancePct = ref.imb
+		out[k].PaperExecSeconds = ref.exec
+		for i := range out[k].Ranks {
+			out[k].Ranks[i].PaperComp = ref.comp[i]
+			out[k].Ranks[i].PaperSync = ref.sync[i]
 		}
-		ref := paperTable4[string(c)]
-		cr.PaperImbalancePct = ref.imb
-		cr.PaperExecSeconds = ref.exec
-		for i := range cr.Ranks {
-			cr.Ranks[i].PaperComp = ref.comp[i]
-			cr.Ranks[i].PaperSync = ref.sync[i]
-		}
-		out = append(out, cr)
 	}
 	return out, nil
 }

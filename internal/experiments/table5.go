@@ -24,32 +24,33 @@ var paperTable5 = map[string]struct {
 // priority/placement cases.
 func Table5(opt Options) ([]CaseResult, error) {
 	opt = opt.normalize()
-	var out []CaseResult
+	var specs []caseSpec
 	for _, c := range btmz.Cases() {
 		cfg := btmz.DefaultConfig()
 		if c == btmz.CaseST {
 			cfg = btmz.STConfig()
 		}
 		cfg.UnitLoad = scaleLoad(cfg.UnitLoad, opt.Scale)
-		job := btmz.Job(cfg)
 		pl, err := btmz.Placement(c)
 		if err != nil {
 			return nil, err
 		}
-		cr, err := runCase(job, pl, opt, string(c), nil)
-		if err != nil {
-			return nil, err
-		}
-		ref := paperTable5[string(c)]
-		cr.PaperImbalancePct = ref.imb
-		cr.PaperExecSeconds = ref.exec
-		for i := range cr.Ranks {
+		specs = append(specs, caseSpec{label: string(c), job: btmz.Job(cfg), pl: pl})
+	}
+	out, err := runCases(specs, opt)
+	if err != nil {
+		return nil, err
+	}
+	for k := range out {
+		ref := paperTable5[out[k].Case]
+		out[k].PaperImbalancePct = ref.imb
+		out[k].PaperExecSeconds = ref.exec
+		for i := range out[k].Ranks {
 			if i < len(ref.comp) {
-				cr.Ranks[i].PaperComp = ref.comp[i]
-				cr.Ranks[i].PaperSync = ref.sync[i]
+				out[k].Ranks[i].PaperComp = ref.comp[i]
+				out[k].Ranks[i].PaperSync = ref.sync[i]
 			}
 		}
-		out = append(out, cr)
 	}
 	return out, nil
 }

@@ -23,7 +23,7 @@ var paperTable6 = map[string]struct {
 // priority/placement cases.
 func Table6(opt Options) ([]CaseResult, error) {
 	opt = opt.normalize()
-	var out []CaseResult
+	var specs []caseSpec
 	for _, c := range siesta.Cases() {
 		cfg := siesta.DefaultConfig()
 		if c == siesta.CaseST {
@@ -32,25 +32,26 @@ func Table6(opt Options) ([]CaseResult, error) {
 		cfg.UnitLoad = scaleLoad(cfg.UnitLoad, opt.Scale)
 		cfg.InitLoad = scaleLoad(cfg.InitLoad, opt.Scale)
 		cfg.FinalLoad = scaleLoad(cfg.FinalLoad, opt.Scale)
-		job := siesta.Job(cfg)
 		pl, err := siesta.Placement(c)
 		if err != nil {
 			return nil, err
 		}
-		cr, err := runCase(job, pl, opt, string(c), nil)
-		if err != nil {
-			return nil, err
-		}
-		ref := paperTable6[string(c)]
-		cr.PaperImbalancePct = ref.imb
-		cr.PaperExecSeconds = ref.exec
-		for i := range cr.Ranks {
+		specs = append(specs, caseSpec{label: string(c), job: siesta.Job(cfg), pl: pl})
+	}
+	out, err := runCases(specs, opt)
+	if err != nil {
+		return nil, err
+	}
+	for k := range out {
+		ref := paperTable6[out[k].Case]
+		out[k].PaperImbalancePct = ref.imb
+		out[k].PaperExecSeconds = ref.exec
+		for i := range out[k].Ranks {
 			if i < len(ref.comp) {
-				cr.Ranks[i].PaperComp = ref.comp[i]
-				cr.Ranks[i].PaperSync = ref.sync[i]
+				out[k].Ranks[i].PaperComp = ref.comp[i]
+				out[k].Ranks[i].PaperSync = ref.sync[i]
 			}
 		}
-		out = append(out, cr)
 	}
 	return out, nil
 }

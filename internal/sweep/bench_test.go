@@ -1,0 +1,68 @@
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// benchPoints is the full 4-rank placement × user-settable-priority
+// space: 3 pairings × 3^4 priority vectors = 243 simulator runs.
+func benchPoints(b *testing.B) []Point {
+	b.Helper()
+	pts, err := Enumerate(4, Space{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pts
+}
+
+// BenchmarkSweepWorkers measures the full 4-rank sweep at several pool
+// sizes; compare workers1 with workers4 for the parallel speedup.
+func BenchmarkSweepWorkers(b *testing.B) {
+	job := sweepJob(3000)
+	points := benchPoints(b)
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Sweep(job, points, Options{Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(points)), "configs")
+		})
+	}
+}
+
+// BenchmarkSweepSpeedup runs the same full sweep serially and on four
+// workers within one benchmark iteration and reports the wall-clock
+// ratio.  On a machine with >= 4 CPUs the speedup is >= 2x (the runs are
+// independent and share nothing); on fewer CPUs it degrades toward 1x.
+func BenchmarkSweepSpeedup(b *testing.B) {
+	job := sweepJob(3000)
+	points := benchPoints(b)
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		serial, err := Sweep(job, points, Options{Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tSerial := time.Since(t0)
+		t0 = time.Now()
+		parallel, err := Sweep(job, points, Options{Workers: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tParallel := time.Since(t0)
+		sb, _ := serial.Best()
+		pb, _ := parallel.Best()
+		if sb.Point.String() != pb.Point.String() {
+			b.Fatal("serial and parallel sweeps disagree on the winner")
+		}
+		speedup = tSerial.Seconds() / tParallel.Seconds()
+	}
+	b.ReportMetric(speedup, "speedup-x")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+}

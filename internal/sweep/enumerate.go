@@ -1,0 +1,221 @@
+package sweep
+
+import (
+	"fmt"
+
+	"repro/internal/hwpri"
+	"repro/internal/mpisim"
+)
+
+// Pairing partitions a job's ranks into sibling pairs: Pairing[c] holds
+// the two ranks sharing core c's SMT contexts.  The canonical form —
+// within each pair the lower rank first, pairs ordered by their first
+// rank — is one representative of the equivalence class under the
+// machine's two symmetries: cores are interchangeable and so are the two
+// contexts of a core, so relabeling either never changes a run.
+type Pairing [][2]int
+
+// Placement expands the pairing into a concrete CPU map with the given
+// per-rank priorities: the pair's first rank lands on the core's even
+// context, the second on the odd one.
+func (p Pairing) Placement(prio []hwpri.Priority) mpisim.Placement {
+	cpu := make([]int, 2*len(p))
+	for c, pair := range p {
+		cpu[pair[0]] = 2 * c
+		cpu[pair[1]] = 2*c + 1
+	}
+	return mpisim.Placement{CPU: cpu, Prio: prio}
+}
+
+// String renders the pairing as e.g. "0+3|1+2".
+func (p Pairing) String() string {
+	s := ""
+	for c, pair := range p {
+		if c > 0 {
+			s += "|"
+		}
+		s += fmt.Sprintf("%d+%d", pair[0], pair[1])
+	}
+	return s
+}
+
+// Pairings enumerates every distinct partition of n ranks (n even, n > 0)
+// into sibling pairs, in canonical form and deterministic order.  There
+// are (n-1)!! of them — 3 for the paper's 4-rank jobs, versus the 24
+// raw CPU assignments the symmetry pruning collapses.
+func Pairings(n int) []Pairing {
+	if n <= 0 || n%2 != 0 {
+		return nil
+	}
+	used := make([]bool, n)
+	var cur [][2]int
+	var out []Pairing
+	var rec func()
+	rec = func() {
+		first := -1
+		for i, u := range used {
+			if !u {
+				first = i
+				break
+			}
+		}
+		if first < 0 {
+			p := make(Pairing, len(cur))
+			copy(p, cur)
+			out = append(out, p)
+			return
+		}
+		used[first] = true
+		for j := first + 1; j < n; j++ {
+			if used[j] {
+				continue
+			}
+			used[j] = true
+			cur = append(cur, [2]int{first, j})
+			rec()
+			cur = cur[:len(cur)-1]
+			used[j] = false
+		}
+		used[first] = false
+	}
+	rec()
+	return out
+}
+
+// UserAlphabet is the priority set unprivileged code can reach through
+// the or-nop interface (Section III-B).
+func UserAlphabet() []hwpri.Priority {
+	return []hwpri.Priority{hwpri.Low, hwpri.MediumLow, hwpri.Medium}
+}
+
+// OSAlphabet is the priority set the patched kernel's procfs interface
+// exposes (Section VI) minus VeryLow, whose leftover-only regime starves
+// a busy rank outright and is never useful as a launch priority.
+func OSAlphabet() []hwpri.Priority {
+	return []hwpri.Priority{hwpri.Low, hwpri.MediumLow, hwpri.Medium, hwpri.MediumHigh, hwpri.High}
+}
+
+// Space describes a configuration space to enumerate.
+type Space struct {
+	// Pairings restricts the rank pairings; nil enumerates Pairings(n).
+	Pairings []Pairing
+	// Alphabet is the per-rank priority alphabet; nil means UserAlphabet.
+	Alphabet []hwpri.Priority
+}
+
+// Point is one configuration of the space: a pairing plus a priority for
+// every rank.
+type Point struct {
+	Pairing Pairing
+	Prio    []hwpri.Priority
+}
+
+// Placement expands the point into a concrete mpisim placement.
+func (pt Point) Placement() mpisim.Placement { return pt.Pairing.Placement(pt.Prio) }
+
+// String renders the point as e.g. "0+3|1+2 @ 6,4,4,2".
+func (pt Point) String() string {
+	s := pt.Pairing.String() + " @ "
+	for i, p := range pt.Prio {
+		if i > 0 {
+			s += ","
+		}
+		s += fmt.Sprintf("%d", int(p))
+	}
+	return s
+}
+
+// Enumerate lists the full space for n ranks in deterministic order:
+// pairings in Pairings order, and for each pairing the cartesian product
+// of the alphabet over ranks, last rank varying fastest.  n must be even
+// (pairings fill whole cores; whether n fits the machine is checked by
+// the simulator at run time).  Priorities outside the OS range 1..6 are
+// rejected: 0 and 7 change the machine's context population, which the
+// enumerator deliberately keeps fixed.
+func Enumerate(n int, sp Space) ([]Point, error) {
+	if n <= 0 || n%2 != 0 {
+		return nil, fmt.Errorf("sweep: need an even positive rank count, got %d", n)
+	}
+	pairings := sp.Pairings
+	if pairings == nil {
+		pairings = Pairings(n)
+	}
+	for _, p := range pairings {
+		if err := validPairing(n, p); err != nil {
+			return nil, err
+		}
+	}
+	alphabet := sp.Alphabet
+	if alphabet == nil {
+		alphabet = UserAlphabet()
+	}
+	seen := map[hwpri.Priority]bool{}
+	for _, p := range alphabet {
+		if p < hwpri.VeryLow || p > hwpri.High {
+			return nil, fmt.Errorf("sweep: priority %d outside the sweepable range 1..6", p)
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("sweep: duplicate priority %d in alphabet", p)
+		}
+		seen[p] = true
+	}
+
+	total := len(pairings)
+	for i := 0; i < n; i++ {
+		total *= len(alphabet)
+	}
+	out := make([]Point, 0, total)
+	idx := make([]int, n)
+	for _, pairing := range pairings {
+		for i := range idx {
+			idx[i] = 0
+		}
+		for {
+			prio := make([]hwpri.Priority, n)
+			for r, k := range idx {
+				prio[r] = alphabet[k]
+			}
+			out = append(out, Point{Pairing: pairing, Prio: prio})
+			// Odometer increment, last rank fastest.
+			r := n - 1
+			for ; r >= 0; r-- {
+				idx[r]++
+				if idx[r] < len(alphabet) {
+					break
+				}
+				idx[r] = 0
+			}
+			if r < 0 {
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// validPairing checks that a pairing is a canonical partition of [0, n).
+func validPairing(n int, p Pairing) error {
+	if len(p)*2 != n {
+		return fmt.Errorf("sweep: pairing %v covers %d ranks, want %d", p, len(p)*2, n)
+	}
+	seen := make([]bool, n)
+	prevFirst := -1
+	for _, pair := range p {
+		a, b := pair[0], pair[1]
+		if a < 0 || a >= n || b < 0 || b >= n {
+			return fmt.Errorf("sweep: pairing %v names a rank outside [0,%d)", p, n)
+		}
+		if a >= b {
+			return fmt.Errorf("sweep: pairing %v not canonical (want lower rank first in each pair)", p)
+		}
+		if a <= prevFirst {
+			return fmt.Errorf("sweep: pairing %v not canonical (pairs must be ordered by first rank)", p)
+		}
+		if seen[a] || seen[b] {
+			return fmt.Errorf("sweep: pairing %v repeats a rank", p)
+		}
+		seen[a], seen[b] = true, true
+		prevFirst = a
+	}
+	return nil
+}

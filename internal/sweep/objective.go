@@ -1,0 +1,69 @@
+package sweep
+
+import "fmt"
+
+// Metrics are the per-run quantities objectives may score.
+type Metrics struct {
+	// Cycles is the run's execution time in simulated cycles.
+	Cycles int64
+	// Seconds is Cycles on the simulated clock.
+	Seconds float64
+	// ImbalancePct is the paper's imbalance metric (max sync %).
+	ImbalancePct float64
+}
+
+// Objective scores a run; lower is better.  The built-in scoring is a
+// weighted sum of two normalized terms — execution time relative to the
+// sweep's best run (>= 1) and imbalance as a fraction (0..1) — so that
+// "minimize cycles", "minimize imbalance" and any weighted combination
+// are all the same struct.  Fn, when set, replaces the weighted form
+// entirely for fully custom objectives.
+type Objective struct {
+	// Label names the objective in output ("cycles", "imbalance", ...).
+	Label string
+	// CyclesWeight multiplies Cycles/minCycles, the run's slowdown
+	// relative to the fastest configuration of the sweep.
+	CyclesWeight float64
+	// ImbalanceWeight multiplies ImbalancePct/100.
+	ImbalanceWeight float64
+	// Fn, if non-nil, overrides the weighted scoring.  minCycles is the
+	// smallest cycle count across the sweep's successful runs, for
+	// normalization; it is the same value regardless of worker count.
+	Fn func(m Metrics, minCycles int64) float64
+}
+
+// MinCycles scores runs by execution time alone.
+func MinCycles() Objective { return Objective{Label: "cycles", CyclesWeight: 1} }
+
+// MinImbalance scores runs by the imbalance metric alone.
+func MinImbalance() Objective { return Objective{Label: "imbalance", ImbalanceWeight: 1} }
+
+// Weighted combines normalized execution time and imbalance.
+func Weighted(cyclesWeight, imbalanceWeight float64) Objective {
+	return Objective{
+		Label:           fmt.Sprintf("weighted(%g,%g)", cyclesWeight, imbalanceWeight),
+		CyclesWeight:    cyclesWeight,
+		ImbalanceWeight: imbalanceWeight,
+	}
+}
+
+// normalize substitutes MinCycles for a zero-valued objective.
+func (o Objective) normalize() Objective {
+	if o.Fn == nil && o.CyclesWeight == 0 && o.ImbalanceWeight == 0 {
+		return MinCycles()
+	}
+	return o
+}
+
+// Score computes the run's score given the sweep-wide minimum cycle
+// count.
+func (o Objective) Score(m Metrics, minCycles int64) float64 {
+	if o.Fn != nil {
+		return o.Fn(m, minCycles)
+	}
+	if minCycles <= 0 {
+		minCycles = 1
+	}
+	return o.CyclesWeight*float64(m.Cycles)/float64(minCycles) +
+		o.ImbalanceWeight*m.ImbalancePct/100
+}

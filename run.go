@@ -171,38 +171,61 @@ func (r *Result) WriteTraceCSV(w io.Writer) error { return r.tr.WriteCSV(w) }
 // WriteParaver writes a PARAVER-like .prv state-record trace.
 func (r *Result) WriteParaver(w io.Writer) error { return r.tr.WritePRV(w) }
 
-// Run executes the job under the placement.
-func Run(job Job, pl Placement, opts *Options) (*Result, error) {
-	if opts == nil {
-		opts = &Options{}
-	}
-	inner := &mpisim.Job{Name: job.Name}
+// inner converts the public job to its simulator form.  The conversion
+// allocates fresh slices, so the result is safe to share across the
+// concurrent runs of a sweep.
+func (job Job) inner() *mpisim.Job {
+	out := &mpisim.Job{Name: job.Name}
 	for _, prog := range job.Ranks {
 		var p mpisim.Program
 		for _, ph := range prog {
 			p = append(p, ph.inner)
 		}
-		inner.Ranks = append(inner.Ranks, p)
+		out.Ranks = append(out.Ranks, p)
 	}
+	return out
+}
+
+// inner converts the public placement, validating the priorities.
+func (pl Placement) inner() (mpisim.Placement, error) {
 	ipl := mpisim.Placement{CPU: pl.CPU}
 	for _, p := range pl.Priority {
 		if !p.Valid() {
-			return nil, fmt.Errorf("smtbalance: invalid priority %d", p)
+			return mpisim.Placement{}, fmt.Errorf("smtbalance: invalid priority %d", p)
 		}
 		ipl.Prio = append(ipl.Prio, hwpri.Priority(p))
 	}
+	return ipl, nil
+}
+
+// simConfig builds the simulator configuration the options describe,
+// without the per-run OnIteration wiring.
+func (opts *Options) simConfig() mpisim.Config {
 	kcfg := oskernel.DefaultConfig()
 	kcfg.Patched = !opts.VanillaKernel
 	if opts.NoOSNoise {
 		kcfg.TickPeriod = 0
 	}
-	cfg := mpisim.Config{
+	return mpisim.Config{
 		Chip:       power5.DefaultConfig(),
 		Kernel:     kcfg,
 		KernelSet:  true,
 		MaxCycles:  opts.MaxCycles,
 		ColdCaches: opts.ColdCaches,
 	}
+}
+
+// Run executes the job under the placement.
+func Run(job Job, pl Placement, opts *Options) (*Result, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	inner := job.inner()
+	ipl, err := pl.inner()
+	if err != nil {
+		return nil, err
+	}
+	cfg := opts.simConfig()
 	var bal *core.Dynamic
 	if opts.DynamicBalance {
 		maxDiff := opts.MaxPriorityDiff

@@ -18,6 +18,11 @@
 //   - Let the library balance for you: SuggestPlacement derives a static
 //     priority plan from per-rank work, and Options.DynamicBalance turns
 //     on the online OS-level balancer the paper proposes as future work.
+//   - Search instead of guessing: Sweep fans every placement × priority
+//     configuration out across a worker pool and ranks them by a
+//     pluggable objective, and OptimizePlacement returns the best
+//     configuration found — the by-hand procedure behind the paper's
+//     Tables IV-VI, automated and parallel.
 //
 // The quickstart example:
 //

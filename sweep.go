@@ -1,0 +1,244 @@
+package smtbalance
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/hwpri"
+	"repro/internal/sweep"
+)
+
+// Space describes the placement × priority search space of a sweep: the
+// cross product of every distinct way to co-schedule the job's ranks on
+// the machine's SMT cores (core-relabeling and sibling-context symmetries
+// pruned) with a per-rank priority alphabet.  A 4-rank job has 3 distinct
+// pairings; the user-settable alphabet {2,3,4} then yields 243
+// configurations, the OS-settable alphabet {2..6} 1875.
+type Space struct {
+	// Priorities is the per-rank priority alphabet; nil means the
+	// user-settable set (PriorityLow, PriorityMediumLow, PriorityMedium).
+	Priorities []Priority
+	// FixPairing keeps the job's in-order pairing (ranks 2c and 2c+1
+	// share core c) instead of enumerating every pairing — the space to
+	// use when ranks are already placed and only priorities may move.
+	FixPairing bool
+}
+
+// UserSettableSpace is the space reachable without any kernel support:
+// all pairings, priorities 2-4 (Section III-B).
+func UserSettableSpace() Space { return Space{} }
+
+// OSSettableSpace is the space the paper's patched kernel unlocks: all
+// pairings, priorities 2-6 (Section VI; VeryLow is excluded because a
+// leftover-only rank starves).
+func OSSettableSpace() Space {
+	var prios []Priority
+	for _, p := range sweep.OSAlphabet() {
+		prios = append(prios, Priority(p))
+	}
+	return Space{Priorities: prios}
+}
+
+// Objective scores sweep runs; lower is better.  Scores combine two
+// normalized terms: execution time relative to the sweep's fastest run
+// (>= 1) weighted by CyclesWeight, and the imbalance percentage as a
+// fraction (0..1) weighted by ImbalanceWeight.  The zero value minimizes
+// execution time.
+type Objective struct {
+	// CyclesWeight weights normalized execution time.
+	CyclesWeight float64
+	// ImbalanceWeight weights the imbalance fraction.
+	ImbalanceWeight float64
+}
+
+// MinimizeCycles ranks configurations by execution time — the paper's
+// headline metric.
+func MinimizeCycles() Objective { return Objective{CyclesWeight: 1} }
+
+// MinimizeImbalance ranks configurations by the imbalance metric.
+func MinimizeImbalance() Objective { return Objective{ImbalanceWeight: 1} }
+
+// WeightedObjective blends the two, e.g. WeightedObjective(1, 0.5)
+// accepts a slightly slower run if it is much better balanced.
+func WeightedObjective(cyclesWeight, imbalanceWeight float64) Objective {
+	return Objective{CyclesWeight: cyclesWeight, ImbalanceWeight: imbalanceWeight}
+}
+
+func (o Objective) inner() sweep.Objective {
+	if o.CyclesWeight == 0 && o.ImbalanceWeight == 0 {
+		return sweep.MinCycles()
+	}
+	return sweep.Weighted(o.CyclesWeight, o.ImbalanceWeight)
+}
+
+// SweepOptions tunes a sweep.
+type SweepOptions struct {
+	// Workers caps concurrent simulator runs; 0 means one per CPU, 1
+	// forces a serial sweep.  The ranking is identical for every value.
+	Workers int
+	// Top truncates the ranking to the best K configurations; 0 keeps
+	// everything.
+	Top int
+	// Objective scores each run; the zero value minimizes cycles.
+	Objective Objective
+	// Run is the per-run simulation environment.  DynamicBalance and
+	// OnIteration are rejected: sweep runs execute concurrently, and the
+	// sweep's whole point is searching static configurations.
+	Run *Options
+}
+
+// SweepEntry is one ranked configuration of a finished sweep.
+type SweepEntry struct {
+	// Placement is the configuration (CPU map and priorities).
+	Placement Placement
+	// Cycles, Seconds and ImbalancePct are the run's metrics.
+	Cycles       int64
+	Seconds      float64
+	ImbalancePct float64
+	// Score is the objective value; entries are sorted by it ascending.
+	Score float64
+}
+
+// SweepResult is a finished sweep: the objective's ranking over every
+// configuration evaluated.
+type SweepResult struct {
+	// Entries is the ranking, best first.  The order is total (ties
+	// break on cycles, then enumeration order), so it is byte-identical
+	// whether the sweep ran on one worker or many.
+	Entries []SweepEntry
+	// Evaluated is the number of configurations run.
+	Evaluated int
+	// Workers is the pool size actually used.
+	Workers int
+}
+
+// Best returns the top-ranked configuration.
+func (r *SweepResult) Best() (SweepEntry, error) {
+	if len(r.Entries) == 0 {
+		return SweepEntry{}, fmt.Errorf("smtbalance: sweep ranked no configurations")
+	}
+	return r.Entries[0], nil
+}
+
+// WriteCSV writes the ranking as CSV with a header row:
+// rank,cpus,priorities,cycles,seconds,imbalance_pct,score.
+func (r *SweepResult) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "rank,cpus,priorities,cycles,seconds,imbalance_pct,score"); err != nil {
+		return err
+	}
+	for i, e := range r.Entries {
+		cpus := make([]string, len(e.Placement.CPU))
+		prios := make([]string, len(e.Placement.Priority))
+		for j, c := range e.Placement.CPU {
+			cpus[j] = fmt.Sprint(c)
+		}
+		for j, p := range e.Placement.Priority {
+			prios[j] = fmt.Sprint(int(p))
+		}
+		_, err := fmt.Fprintf(w, "%d,%s,%s,%d,%.9f,%.4f,%.6f\n",
+			i+1, strings.Join(cpus, " "), strings.Join(prios, " "),
+			e.Cycles, e.Seconds, e.ImbalancePct, e.Score)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sweep evaluates every configuration of the space under the job across
+// a worker pool and returns the objective's ranking.  Runs share
+// nothing, so the sweep parallelizes linearly with CPUs, and the
+// aggregation is input-order based, so the ranking does not depend on
+// the worker count.  The job must have an even number of ranks that fits
+// the machine (four for the default POWER5 model).
+func Sweep(job Job, space Space, opts *SweepOptions) (*SweepResult, error) {
+	if opts == nil {
+		opts = &SweepOptions{}
+	}
+	runOpts := opts.Run
+	if runOpts == nil {
+		runOpts = &Options{}
+	}
+	if runOpts.DynamicBalance || runOpts.OnIteration != nil {
+		return nil, fmt.Errorf("smtbalance: DynamicBalance/OnIteration are not supported in sweeps")
+	}
+	n := len(job.Ranks)
+	sp := sweep.Space{}
+	if space.FixPairing {
+		if n%2 != 0 {
+			return nil, fmt.Errorf("smtbalance: sweep needs an even rank count, got %d", n)
+		}
+		pairing := make(sweep.Pairing, 0, n/2)
+		for c := 0; c < n/2; c++ {
+			pairing = append(pairing, [2]int{2 * c, 2*c + 1})
+		}
+		sp.Pairings = []sweep.Pairing{pairing}
+	}
+	for _, p := range space.Priorities {
+		if !p.Valid() {
+			return nil, fmt.Errorf("smtbalance: invalid priority %d in space", p)
+		}
+		sp.Alphabet = append(sp.Alphabet, hwpri.Priority(p))
+	}
+	points, err := sweep.Enumerate(n, sp)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sweep.Sweep(job.inner(), points, sweep.Options{
+		Workers:   opts.Workers,
+		Top:       opts.Top,
+		Objective: opts.Objective.inner(),
+		Config:    runOpts.simConfig(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if res.Failed > 0 {
+		// Fail loudly whatever the Top truncation kept: a failed run
+		// means the budget or space is wrong for this job, and a
+		// ranking that silently omits configurations is worse than no
+		// ranking.
+		return nil, fmt.Errorf("smtbalance: %d of %d sweep configurations failed: %w",
+			res.Failed, res.Evaluated, res.FirstErr)
+	}
+	out := &SweepResult{Evaluated: res.Evaluated, Workers: sweep.PoolSize(res.Evaluated, opts.Workers)}
+	for _, rr := range res.Ranked {
+		ipl := rr.Point.Placement()
+		pl := Placement{CPU: ipl.CPU}
+		for _, p := range ipl.Prio {
+			pl.Priority = append(pl.Priority, Priority(p))
+		}
+		out.Entries = append(out.Entries, SweepEntry{
+			Placement:    pl,
+			Cycles:       rr.Metrics.Cycles,
+			Seconds:      rr.Metrics.Seconds,
+			ImbalancePct: rr.Metrics.ImbalancePct,
+			Score:        rr.Score,
+		})
+	}
+	return out, nil
+}
+
+// OptimizePlacement searches the OS-settable placement × priority space
+// for the configuration optimizing the objective and returns it together
+// with its full Result — the automated version of the by-hand procedure
+// behind the paper's Tables IV-VI, and the search SuggestPlacement only
+// approximates with its performance model.
+func OptimizePlacement(job Job, objective Objective) (Placement, *Result, error) {
+	sw, err := Sweep(job, OSSettableSpace(), &SweepOptions{Top: 1, Objective: objective})
+	if err != nil {
+		return Placement{}, nil, err
+	}
+	best, err := sw.Best()
+	if err != nil {
+		return Placement{}, nil, err
+	}
+	// Re-run the winner for the full Result (trace included): the
+	// simulator is deterministic, so this reproduces the swept run.
+	res, err := Run(job, best.Placement, nil)
+	if err != nil {
+		return Placement{}, nil, err
+	}
+	return best.Placement, res, nil
+}

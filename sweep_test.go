@@ -1,0 +1,182 @@
+package smtbalance
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// sweepTestJob is a small imbalanced job: ranks 1 and 3 are heavy.
+func sweepTestJob(light, heavy int64) Job {
+	return Job{Name: "sweep", Ranks: [][]Phase{
+		{Compute("fpu", light), Barrier()},
+		{Compute("fpu", heavy), Barrier()},
+		{Compute("fpu", light), Barrier()},
+		{Compute("fpu", heavy), Barrier()},
+	}}
+}
+
+func TestSweepPublicDeterminism(t *testing.T) {
+	job := sweepTestJob(3000, 12000)
+	space := Space{Priorities: []Priority{PriorityMedium, PriorityHigh}}
+	serial, err := Sweep(job, space, &SweepOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Sweep(job, space, &SweepOptions{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Entries, parallel.Entries) {
+		t.Fatal("workers=1 and workers=8 rankings differ")
+	}
+	if serial.Evaluated != 48 { // 3 pairings x 2^4
+		t.Errorf("evaluated %d configurations, want 48", serial.Evaluated)
+	}
+}
+
+func TestSweepFixPairing(t *testing.T) {
+	job := sweepTestJob(2000, 8000)
+	res, err := Sweep(job, Space{FixPairing: true,
+		Priorities: []Priority{PriorityMedium, PriorityHigh}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluated != 16 {
+		t.Errorf("fixed-pairing space evaluated %d, want 16", res.Evaluated)
+	}
+	for _, e := range res.Entries {
+		if !reflect.DeepEqual(e.Placement.CPU, []int{0, 1, 2, 3}) {
+			t.Fatalf("FixPairing leaked pairing %v", e.Placement.CPU)
+		}
+	}
+}
+
+func TestSweepBeatsDefaultPlacement(t *testing.T) {
+	job := sweepTestJob(3000, 12000)
+	base, err := Run(job, PinInOrder(4), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Sweep(job, UserSettableSpace(), &SweepOptions{Top: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := res.Best()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Cycles >= base.Cycles {
+		t.Errorf("sweep best (%d cycles) no faster than default placement (%d cycles)",
+			best.Cycles, base.Cycles)
+	}
+	if len(res.Entries) != 3 {
+		t.Errorf("Top=3 kept %d entries", len(res.Entries))
+	}
+}
+
+func TestSweepObjectives(t *testing.T) {
+	job := sweepTestJob(2000, 8000)
+	space := Space{FixPairing: true, Priorities: []Priority{PriorityMedium, PriorityHigh}}
+	byImb, err := Sweep(job, space, &SweepOptions{Objective: MinimizeImbalance()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byCyc, err := Sweep(job, space, &SweepOptions{Objective: MinimizeCycles()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bi, _ := byImb.Best()
+	bc, _ := byCyc.Best()
+	if bi.ImbalancePct > bc.ImbalancePct {
+		t.Errorf("imbalance objective winner (%.2f%%) worse balanced than cycles winner (%.2f%%)",
+			bi.ImbalancePct, bc.ImbalancePct)
+	}
+	w := WeightedObjective(1, 0.5)
+	if w.CyclesWeight != 1 || w.ImbalanceWeight != 0.5 {
+		t.Errorf("WeightedObjective = %+v", w)
+	}
+}
+
+func TestSweepRejectsDynamicOptions(t *testing.T) {
+	job := sweepTestJob(1000, 2000)
+	if _, err := Sweep(job, Space{}, &SweepOptions{Run: &Options{DynamicBalance: true}}); err == nil {
+		t.Error("DynamicBalance accepted in a sweep")
+	}
+	if _, err := Sweep(job, Space{}, &SweepOptions{Run: &Options{OnIteration: func(IterationStats) {}}}); err == nil {
+		t.Error("OnIteration accepted in a sweep")
+	}
+	if _, err := Sweep(job, Space{Priorities: []Priority{Priority(9)}}, nil); err == nil {
+		t.Error("invalid priority accepted in a space")
+	}
+	odd := Job{Ranks: job.Ranks[:3]}
+	if _, err := Sweep(odd, Space{}, nil); err == nil {
+		t.Error("odd rank count accepted")
+	}
+}
+
+func TestSweepFailedRunsErrorRegardlessOfTop(t *testing.T) {
+	job := sweepTestJob(2000, 8000)
+	space := Space{FixPairing: true, Priorities: []Priority{PriorityMedium, PriorityHigh}}
+	// A 1-cycle budget starves every configuration; the sweep must
+	// report that whether or not truncation would hide the failures.
+	for _, top := range []int{0, 2} {
+		_, err := Sweep(job, space, &SweepOptions{Top: top, Run: &Options{MaxCycles: 1}})
+		if err == nil {
+			t.Errorf("Top=%d: sweep with failing runs returned no error", top)
+		} else if !strings.Contains(err.Error(), "16 of 16") {
+			t.Errorf("Top=%d: error does not report the failure count: %v", top, err)
+		}
+	}
+}
+
+func TestSweepWriteCSV(t *testing.T) {
+	job := sweepTestJob(1500, 6000)
+	res, err := Sweep(job, Space{FixPairing: true,
+		Priorities: []Priority{PriorityMedium, PriorityHigh}}, &SweepOptions{Top: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := res.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("CSV has %d lines, want header + 4 rows:\n%s", len(lines), b.String())
+	}
+	if !strings.HasPrefix(lines[0], "rank,cpus,priorities,") {
+		t.Errorf("missing header: %s", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "1,") {
+		t.Errorf("first data row not rank 1: %s", lines[1])
+	}
+}
+
+func TestOptimizePlacement(t *testing.T) {
+	job := sweepTestJob(1500, 6000)
+	base, err := Run(job, PinInOrder(4), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, res, err := OptimizePlacement(job, MinimizeCycles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.CPU) != 4 || len(pl.Priority) != 4 {
+		t.Fatalf("placement shape wrong: %+v", pl)
+	}
+	if res.Cycles >= base.Cycles {
+		t.Errorf("optimized placement (%d cycles) no faster than default (%d cycles)",
+			res.Cycles, base.Cycles)
+	}
+	// The result must be the winner's actual run, not an estimate.
+	rerun, err := Run(job, pl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rerun.Cycles != res.Cycles {
+		t.Errorf("returned Result (%d cycles) does not match its placement's run (%d cycles)",
+			res.Cycles, rerun.Cycles)
+	}
+}
