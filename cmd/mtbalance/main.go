@@ -12,6 +12,7 @@
 //	mtbalance -experiment kernelpatch       # ablation: vanilla vs patched kernel
 //	mtbalance -experiment dynamic           # extension: dynamic OS balancer
 //	mtbalance -experiment extrinsic         # Section II-B: OS-noise imbalance
+//	mtbalance -experiment scaling           # multi-chip scaling (1/2/4 chips)
 //	mtbalance -experiment all               # everything
 //
 // Add -check to fail (exit 1) if any experiment loses the paper's shape,
@@ -19,13 +20,21 @@
 // workloads.  Independent experiment cases fan out across a worker pool;
 // -workers 1 forces the old serial behavior.
 //
+// The run subcommand executes one job on a machine of any topology —
+// -chips/-cores/-smt scale the node past the paper's single chip:
+//
+//	mtbalance run -chips 2 -ranks 20000,80000,20000,80000,20000,80000,20000,80000
+//	mtbalance run -chips 2 -balance ...     # topology-aware static plan
+//	mtbalance run -pin "0.0.0@4,0.0.1@6,0.1.0@4,0.1.1@6"
+//
 // The sweep subcommand searches the placement × priority space instead
-// of replaying the paper's hand-picked cases:
+// of replaying the paper's hand-picked cases, on any topology:
 //
 //	mtbalance sweep -workers 4 -top 10 -objective cycles
+//	mtbalance sweep -chips 2                # pairs packed vs spread across L2s
 //	mtbalance sweep -space os -objective weighted:1,0.5 -format csv
 //
-// Run `mtbalance sweep -h` for the full flag list.
+// Run `mtbalance run -h` / `mtbalance sweep -h` for the full flag lists.
 package main
 
 import (
@@ -41,8 +50,11 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "sweep" {
 		os.Exit(runSweep(os.Args[2:]))
 	}
+	if len(os.Args) > 1 && os.Args[1] == "run" {
+		os.Exit(runRun(os.Args[2:]))
+	}
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run (table2, table3, table4, table5, table6, figure1, kernelpatch, dynamic, all)")
+		experiment = flag.String("experiment", "all", "which experiment to run (table2, table3, table4, table5, table6, figure1, kernelpatch, dynamic, extrinsic, scaling, all)")
 		scale      = flag.Float64("scale", 1.0, "workload scale factor")
 		width      = flag.Int("width", 100, "timeline width in columns")
 		traces     = flag.Bool("traces", false, "print per-case timelines (the paper's figures)")
@@ -157,6 +169,17 @@ func main() {
 		}
 		return nil
 	})
+	run("scaling", func() error {
+		rows, err := experiments.Scaling(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatScaling(rows))
+		if *check {
+			return experiments.CheckScaling(rows)
+		}
+		return nil
+	})
 	run("dynamic", func() error {
 		r, err := experiments.DynamicExtension(opt)
 		if err != nil {
@@ -175,7 +198,7 @@ func main() {
 
 	known := map[string]bool{"table2": true, "table3": true, "table4": true, "table5": true,
 		"table6": true, "figure1": true, "kernelpatch": true, "dynamic": true,
-		"extrinsic": true, "all": true}
+		"extrinsic": true, "scaling": true, "all": true}
 	if !known[*experiment] {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
 		os.Exit(2)

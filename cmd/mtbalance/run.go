@@ -1,0 +1,160 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	smtbalance "repro"
+	"repro/internal/metrics"
+)
+
+// runUsage documents the run subcommand.
+const runUsage = `usage: mtbalance run [flags]
+
+Run one job on a machine of the given topology and print the paper-style
+per-rank table.  The default topology is the paper's 1x2x2 OpenPower 710
+(4 hardware contexts); -chips/-cores/-smt scale the node, e.g.
+
+    mtbalance run -chips 2 -ranks 20000,80000,20000,80000,20000,80000,20000,80000
+    mtbalance run -chips 2 -balance -ranks 20000,80000,20000,80000,20000,80000,20000,80000
+    mtbalance run -pin "0.0.0@4,0.0.1@6,0.1.0@4,0.1.1@6"
+
+`
+
+// parseLoads parses a -ranks flag value.
+func parseLoads(ranks string, scale float64) ([]int64, error) {
+	var loads []int64
+	for _, f := range strings.Split(ranks, ",") {
+		n, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -ranks entry %q: want positive instruction counts", f)
+		}
+		n = int64(float64(n) * scale)
+		if n < 1 {
+			n = 1
+		}
+		loads = append(loads, n)
+	}
+	return loads, nil
+}
+
+// buildJob assembles the synthetic compute+barrier job both subcommands
+// share.
+func buildJob(name string, loads []int64, kind string, iters int) smtbalance.Job {
+	job := smtbalance.Job{Name: name}
+	for _, n := range loads {
+		var prog []smtbalance.Phase
+		for i := 0; i < iters; i++ {
+			prog = append(prog, smtbalance.Compute(kind, n), smtbalance.Barrier())
+		}
+		job.Ranks = append(job.Ranks, prog)
+	}
+	return job
+}
+
+// topologyFlags registers -chips/-cores/-smt on a flag set and returns a
+// resolver.
+func topologyFlags(fs *flag.FlagSet) func() (smtbalance.Topology, error) {
+	chips := fs.Int("chips", 1, "number of chips (each with its own shared L2/L3)")
+	cores := fs.Int("cores", 2, "cores per chip")
+	smt := fs.Int("smt", 2, "SMT contexts per core (the priority mechanism needs 2)")
+	return func() (smtbalance.Topology, error) {
+		topo := smtbalance.Topology{Chips: *chips, CoresPerChip: *cores, SMTWays: *smt}
+		if err := topo.Validate(); err != nil {
+			return smtbalance.Topology{}, err
+		}
+		return topo, nil
+	}
+}
+
+// runRun implements `mtbalance run`.
+func runRun(args []string) int {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	topoOf := topologyFlags(fs)
+	var (
+		ranks   = fs.String("ranks", "50000,220000,50000,220000", "per-rank compute instruction counts, comma-separated")
+		kind    = fs.String("kind", "fpu", "compute kernel kind ("+strings.Join(smtbalance.KernelKinds(), ", ")+")")
+		iters   = fs.Int("iters", 2, "compute+barrier iterations per rank")
+		scale   = fs.Float64("scale", 1.0, "workload scale factor")
+		pin     = fs.String("pin", "", `explicit placement: "chip.core.context[@prio]" per rank, comma-separated`)
+		balance = fs.Bool("balance", false, "use the topology-aware static plan instead of pin-in-order")
+		traces  = fs.Bool("trace", false, "print the run's timeline")
+		width   = fs.Int("width", 100, "timeline width in columns")
+	)
+	fs.Usage = func() {
+		fmt.Fprint(os.Stderr, runUsage)
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+
+	topo, err := topoOf()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if err := smtbalance.ParseKind(*kind); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	loads, err := parseLoads(*ranks, *scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	job := buildJob("run", loads, *kind, *iters)
+
+	var pl smtbalance.Placement
+	switch {
+	case *pin != "" && *balance:
+		fmt.Fprintln(os.Stderr, "-pin and -balance are mutually exclusive")
+		return 2
+	case *pin != "":
+		if pl, err = smtbalance.ParsePlacement(topo, *pin); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		if len(pl.CPU) != len(loads) {
+			fmt.Fprintf(os.Stderr, "-pin places %d ranks but -ranks has %d\n", len(pl.CPU), len(loads))
+			return 2
+		}
+	case *balance:
+		works := make([]float64, len(loads))
+		for i, n := range loads {
+			works[i] = float64(n)
+		}
+		if pl, err = topo.SuggestPlacement(works); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	default:
+		if pl, err = topo.PinInOrder(len(loads)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	}
+
+	res, err := smtbalance.Run(job, pl, &smtbalance.Options{Topology: topo})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	title := fmt.Sprintf("Run — topology %s, %d ranks", topo, len(res.Ranks))
+	tb := metrics.NewTable(title, "Rank", "Chip", "Core", "CPU", "P", "Comp%", "Sync%", "Comm%")
+	for r, rr := range res.Ranks {
+		tb.AddRow(fmt.Sprintf("P%d", r+1), fmt.Sprint(rr.Chip), fmt.Sprint(rr.Core),
+			fmt.Sprint(rr.CPU), fmt.Sprint(int(rr.Priority)),
+			fmt.Sprintf("%.2f", rr.ComputePct), fmt.Sprintf("%.2f", rr.SyncPct),
+			fmt.Sprintf("%.2f", rr.CommPct))
+	}
+	fmt.Println(tb.String())
+	fmt.Printf("execution: %s (%d cycles), imbalance %s, %d iterations\n",
+		metrics.Seconds(res.Seconds), res.Cycles, metrics.Pct(res.ImbalancePct), res.Iterations)
+	if *traces {
+		fmt.Println(res.Timeline(*width))
+	}
+	return 0
+}

@@ -14,15 +14,18 @@ import (
 // sweepUsage documents the sweep subcommand.
 const sweepUsage = `usage: mtbalance sweep [flags]
 
-Exhaustively search the placement x priority space of a synthetic
-4-rank job across a worker pool and rank the configurations — the
-search behind the paper's Tables IV-VI, automated.
+Exhaustively search the placement x priority space of a synthetic job
+across a worker pool and rank the configurations — the search behind
+the paper's Tables IV-VI, automated.  -chips/-cores/-smt size the
+machine; on a multi-chip node the space also covers packing rank pairs
+onto one chip's L2 versus spreading them across chips.
 
 `
 
 // runSweep implements `mtbalance sweep`.
 func runSweep(args []string) int {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	topoOf := topologyFlags(fs)
 	var (
 		workers   = fs.Int("workers", 0, "concurrent simulator runs (0 = one per CPU, 1 = serial)")
 		top       = fs.Int("top", 10, "keep the best K configurations (0 = all)")
@@ -41,32 +44,21 @@ func runSweep(args []string) int {
 	}
 	fs.Parse(args)
 
+	topo, err := topoOf()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
 	if err := smtbalance.ParseKind(*kind); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
-	var loads []int64
-	for _, f := range strings.Split(*ranks, ",") {
-		n, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
-		if err != nil || n <= 0 {
-			fmt.Fprintf(os.Stderr, "bad -ranks entry %q: want positive instruction counts\n", f)
-			return 2
-		}
-		n = int64(float64(n) * *scale)
-		if n < 1 {
-			n = 1
-		}
-		loads = append(loads, n)
+	loads, err := parseLoads(*ranks, *scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
 	}
-
-	job := smtbalance.Job{Name: "sweep"}
-	for _, n := range loads {
-		var prog []smtbalance.Phase
-		for i := 0; i < *iters; i++ {
-			prog = append(prog, smtbalance.Compute(*kind, n), smtbalance.Barrier())
-		}
-		job.Ranks = append(job.Ranks, prog)
-	}
+	job := buildJob("sweep", loads, *kind, *iters)
 
 	var sp smtbalance.Space
 	switch *space {
@@ -94,6 +86,7 @@ func runSweep(args []string) int {
 		Workers:   *workers,
 		Top:       *top,
 		Objective: obj,
+		Run:       &smtbalance.Options{Topology: topo},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -1,0 +1,99 @@
+package smtbalance
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzTopology fuzzes the topology flag syntax: any string that parses
+// must be a valid machine whose CPU numbering round-trips, whose String
+// re-parses to the same value, and whose PinInOrder boundary sits
+// exactly at the context count.
+func FuzzTopology(f *testing.F) {
+	for _, s := range []string{
+		"1x2x2", "2x2x2", "4x8x2", " 2 X 2 X 2 ", "64x64x2",
+		"0x2x2", "2x2x4", "-1x2x2", "2x2", "2x2x2x2", "axbxc", "", "x", "1×2×2",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		topo, err := ParseTopology(s)
+		if err != nil {
+			return // rejected input: nothing more to check
+		}
+		if verr := topo.Validate(); verr != nil {
+			t.Fatalf("ParseTopology(%q) returned invalid topology %v: %v", s, topo, verr)
+		}
+		round, err := ParseTopology(topo.String())
+		if err != nil || round != topo {
+			t.Fatalf("topology %v does not round-trip through %q: %v, %v", topo, topo.String(), round, err)
+		}
+		for cpu := 0; cpu < topo.Contexts(); cpu++ {
+			chip, core, ctx := topo.Locate(cpu)
+			back, err := topo.CPUOf(chip, core, ctx)
+			if err != nil {
+				t.Fatalf("%v: Locate(%d) = (%d,%d,%d) rejected by CPUOf: %v", topo, cpu, chip, core, ctx, err)
+			}
+			if back != cpu {
+				t.Fatalf("%v: CPU %d round-trips to %d via (%d,%d,%d)", topo, cpu, back, chip, core, ctx)
+			}
+		}
+		if _, err := topo.PinInOrder(topo.Contexts()); err != nil {
+			t.Fatalf("%v: PinInOrder at full occupancy rejected: %v", topo, err)
+		}
+		if _, err := topo.PinInOrder(topo.Contexts() + 1); err == nil {
+			t.Fatalf("%v: PinInOrder past the context count accepted", topo)
+		}
+	})
+}
+
+// FuzzParsePlacement fuzzes the -pin placement syntax against fuzzed
+// topologies: any (topology, placement) pair that parses must satisfy
+// the placement invariants — equal-length maps, distinct in-range CPUs,
+// valid priorities — and pass the same validation Run applies.
+func FuzzParsePlacement(f *testing.F) {
+	f.Add("1x2x2", "0.0.0@4,0.0.1@6,0.1.0,0.1.1")
+	f.Add("2x2x2", "0.0.0,1.1.1@2")
+	f.Add("2x2x2", "1.0.0@7")
+	f.Add("1x2x2", "0.0.0,0.0.0")
+	f.Add("1x2x2", "0.0")
+	f.Add("1x2x2", "9.9.9@9")
+	f.Add("bogus", "0.0.0@4")
+	f.Add("4x1x2", " 3 . 0 . 1 @ 5 ,0.0.0")
+	f.Add("1x2x2", "")
+	f.Fuzz(func(t *testing.T, topoStr, plStr string) {
+		topo, err := ParseTopology(topoStr)
+		if err != nil {
+			topo = DefaultTopology() // the CLI rejects earlier; parse against the default instead
+		}
+		pl, err := ParsePlacement(topo, plStr)
+		if err != nil {
+			return
+		}
+		if len(pl.CPU) != len(pl.Priority) || len(pl.CPU) == 0 {
+			t.Fatalf("ParsePlacement(%q, %q) returned unbalanced placement %+v", topoStr, plStr, pl)
+		}
+		if want := strings.Count(plStr, ",") + 1; len(pl.CPU) != want {
+			t.Fatalf("ParsePlacement(%q) placed %d ranks from %d entries", plStr, len(pl.CPU), want)
+		}
+		seen := map[int]bool{}
+		for r, cpu := range pl.CPU {
+			if cpu < 0 || cpu >= topo.Contexts() {
+				t.Fatalf("rank %d on CPU %d outside topology %v", r, cpu, topo)
+			}
+			if seen[cpu] {
+				t.Fatalf("CPU %d pinned twice by %q", cpu, plStr)
+			}
+			seen[cpu] = true
+			if !pl.Priority[r].Valid() {
+				t.Fatalf("rank %d has invalid priority %d", r, pl.Priority[r])
+			}
+		}
+		if err := pl.validate(Topology{Chips: topo.Chips, CoresPerChip: topo.CoresPerChip, SMTWays: topo.SMTWays}); err != nil {
+			t.Fatalf("parsed placement fails Run validation: %v", err)
+		}
+		if _, err := pl.inner(); err != nil {
+			t.Fatalf("parsed placement fails priority conversion: %v", err)
+		}
+	})
+}

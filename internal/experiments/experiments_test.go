@@ -197,3 +197,19 @@ func TestExtrinsicNoise(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestScaling(t *testing.T) {
+	rows, err := Scaling(testOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckScaling(rows); err != nil {
+		t.Error(err)
+	}
+	out := FormatScaling(rows)
+	for _, want := range []string{"Chips", "16", "Balanced"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted scaling table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -112,8 +112,13 @@ type IterationEvent struct {
 // Config parameterizes a run.
 type Config struct {
 	// Chip configures the simulated processor; zero value means
-	// power5.DefaultConfig.
+	// power5.DefaultConfig.  With a multi-chip Topology, Chip describes
+	// each chip (its Cores is overridden by Topology.CoresPerChip).
 	Chip power5.Config
+	// Topology sizes the machine as chips × cores-per-chip × SMT ways.
+	// The zero value derives a single-chip topology from Chip, i.e. the
+	// paper's 1×2×2 OpenPower 710.
+	Topology power5.Topology
 	// Kernel configures the simulated OS; zero value means
 	// oskernel.DefaultConfig (patched, 1000 Hz-equivalent ticks).
 	Kernel oskernel.Config
@@ -140,6 +145,8 @@ type Config struct {
 // contexts of the same core ride the shared L2, cross-core exchanges pay
 // the chip interconnect, plus a per-byte cost.  Communication is a fraction
 // of a percent of iteration time, as measured in the paper (Section VII-B).
+// It assumes the single-chip machine; multi-chip runs install
+// TopologyCommLatency (identical on one chip) automatically.
 func DefaultCommLatency(cpuA, cpuB int, bytes int64) int64 {
 	base := int64(300)
 	if cpuA/2 != cpuB/2 {
@@ -148,12 +155,40 @@ func DefaultCommLatency(cpuA, cpuB int, bytes int64) int64 {
 	return base + bytes/128
 }
 
+// crossChipCommBase is the base latency of an exchange between contexts
+// on different chips: the transfer leaves the chip entirely (fabric
+// bus/SMP interconnect), roughly 3× the on-chip cross-core cost.
+const crossChipCommBase = 2500
+
+// TopologyCommLatency returns the default latency model for a machine of
+// the given topology: same-core exchanges ride the shared L1/L2 (300
+// cycles), same-chip cross-core exchanges pay the on-chip interconnect
+// (800), and cross-chip exchanges pay the off-chip fabric (2500), all
+// plus a per-byte cost.  On a single-chip topology it is exactly
+// DefaultCommLatency.
+func TopologyCommLatency(topo power5.Topology) func(cpuA, cpuB int, bytes int64) int64 {
+	return func(cpuA, cpuB int, bytes int64) int64 {
+		base := int64(300)
+		switch {
+		case topo.CoreOf(cpuA) == topo.CoreOf(cpuB):
+		case topo.ChipOf(cpuA) == topo.ChipOf(cpuB):
+			base = 800
+		default:
+			base = crossChipCommBase
+		}
+		return base + bytes/128
+	}
+}
+
 // RankResult summarizes one rank's run.
 type RankResult struct {
 	// CPU is the logical CPU the rank was pinned to.
 	CPU int
-	// Core is the physical core of that CPU.
+	// Core is the physical core of that CPU (global, chip-major index).
 	Core int
+	// Chip is the chip holding that core (always 0 on the default
+	// single-chip topology).
+	Chip int
 	// Prio is the rank's launch priority.
 	Prio hwpri.Priority
 	// ComputePct, SyncPct and CommPct are the percentages of the rank's
@@ -205,7 +240,8 @@ type runtime struct {
 	job  *Job
 	pl   Placement
 	cfg  Config
-	chip *power5.Chip
+	topo power5.Topology
+	mach *power5.Machine
 	kern *oskernel.Kernel
 	tr   *trace.Trace
 
@@ -239,23 +275,31 @@ func Run(job *Job, pl Placement, cfg Config) (*Result, error) {
 	if cfg.Chip.Cores == 0 {
 		cfg.Chip = power5.DefaultConfig()
 	}
+	topo := cfg.Topology
+	if topo.IsZero() {
+		topo = power5.Topology{Chips: 1, CoresPerChip: cfg.Chip.Cores, SMTWays: cfg.Chip.ThreadsPerCore}
+	}
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
 	if !cfg.KernelSet {
 		cfg.Kernel = oskernel.DefaultConfig()
 	}
 	if cfg.CommLatency == nil {
-		cfg.CommLatency = DefaultCommLatency
+		cfg.CommLatency = TopologyCommLatency(topo)
 	}
 	if cfg.MaxCycles == 0 {
 		cfg.MaxCycles = 1 << 33
 	}
-	chip, err := power5.New(cfg.Chip)
+	mach, err := power5.NewMachine(topo, cfg.Chip)
 	if err != nil {
 		return nil, err
 	}
 	seen := make(map[int]bool)
 	for r, cpu := range pl.CPU {
-		if cpu < 0 || cpu >= chip.Config().Cores*chip.Config().ThreadsPerCore {
-			return nil, fmt.Errorf("mpisim: rank %d pinned to invalid CPU %d", r, cpu)
+		if cpu < 0 || cpu >= topo.Contexts() {
+			return nil, fmt.Errorf("mpisim: rank %d pinned to CPU %d, but the %s topology has only %d hardware contexts (CPUs 0..%d)",
+				r, cpu, topo, topo.Contexts(), topo.Contexts()-1)
 		}
 		if seen[cpu] {
 			return nil, fmt.Errorf("mpisim: CPU %d pinned twice", cpu)
@@ -266,8 +310,9 @@ func Run(job *Job, pl Placement, cfg Config) (*Result, error) {
 		job:  job,
 		pl:   pl,
 		cfg:  cfg,
-		chip: chip,
-		kern: oskernel.New(chip, cfg.Kernel),
+		topo: topo,
+		mach: mach,
+		kern: oskernel.NewMachine(mach, cfg.Kernel),
 		tr:   trace.New(n),
 	}
 	rt.byPID = make(map[int]*rankState, n)
@@ -283,7 +328,7 @@ func Run(job *Job, pl Placement, cfg Config) (*Result, error) {
 		if _, ok := rankOn[cpu]; ok {
 			continue
 		}
-		if sib, ok := rankOn[cpu^1]; ok && pl.Prio[sib] == hwpri.VeryHigh {
+		if sib, ok := rankOn[topo.SiblingCPU(cpu)]; ok && pl.Prio[sib] == hwpri.VeryHigh {
 			if err := rt.kern.OfflineCPU(cpu); err != nil {
 				return nil, err
 			}
@@ -314,29 +359,29 @@ func Run(job *Job, pl Placement, cfg Config) (*Result, error) {
 		rt.advance(rs)
 	}
 
-	for rt.remaining > 0 && rt.chip.Cycle() < rt.cfg.MaxCycles {
+	for rt.remaining > 0 && rt.mach.Cycle() < rt.cfg.MaxCycles {
 		target := rt.cfg.MaxCycles
 		if w := rt.nextWake(); w >= 0 && w < target {
 			target = w
 		}
-		if c := rt.chip.Cycle() + 1_000_000; c < target {
+		if c := rt.mach.Cycle() + 1_000_000; c < target {
 			target = c
 		}
-		if target <= rt.chip.Cycle() {
-			target = rt.chip.Cycle() + 1
+		if target <= rt.mach.Cycle() {
+			target = rt.mach.Cycle() + 1
 		}
-		rt.chip.RunUntil(target)
+		rt.mach.RunUntil(target)
 		rt.fireWakeups()
 	}
 	if rt.remaining > 0 {
 		return nil, fmt.Errorf("mpisim: job %q exceeded MaxCycles=%d (deadlock or undersized budget)",
 			job.Name, rt.cfg.MaxCycles)
 	}
-	rt.tr.Finish(rt.chip.Cycle())
+	rt.tr.Finish(rt.mach.Cycle())
 
 	res := &Result{
-		Cycles:     rt.chip.Cycle(),
-		Seconds:    rt.chip.Seconds(rt.chip.Cycle()),
+		Cycles:     rt.mach.Cycle(),
+		Seconds:    rt.mach.Seconds(rt.mach.Cycle()),
 		Imbalance:  rt.tr.Imbalance(),
 		Trace:      rt.tr,
 		Iterations: rt.iteration,
@@ -344,15 +389,16 @@ func Run(job *Job, pl Placement, cfg Config) (*Result, error) {
 	for _, rs := range rt.ranks {
 		st := rt.tr.RankStats(rs.id)
 		cpu := pl.CPU[rs.id]
-		core, thr := cpu/2, cpu%2
+		core, thr := topo.CoreOf(cpu), topo.ThreadOf(cpu)
 		res.Ranks = append(res.Ranks, RankResult{
 			CPU:          cpu,
 			Core:         core,
+			Chip:         topo.ChipOf(cpu),
 			Prio:         pl.Prio[rs.id],
 			ComputePct:   st.Pct(trace.Compute),
 			SyncPct:      st.Pct(trace.Sync),
 			CommPct:      st.Pct(trace.Comm),
-			Instructions: rt.chip.Stats(core, thr).Completed,
+			Instructions: rt.mach.Stats(core, thr).Completed,
 		})
 	}
 	return res, nil
@@ -365,7 +411,7 @@ func (rt *runtime) warmCaches() {
 	const warmCap = 1 << 20 // bytes per load
 	const line = 128
 	for _, rs := range rt.ranks {
-		core := rt.pl.CPU[rs.id] / 2
+		core := rt.topo.CoreOf(rt.pl.CPU[rs.id])
 		warm := func(l workload.Load) {
 			base := l.Base
 			if base == 0 {
@@ -376,7 +422,7 @@ func (rt *runtime) warmCaches() {
 				fp = warmCap
 			}
 			for off := int64(0); off < fp; off += line {
-				rt.chip.TouchMemory(core, base+uint64(off))
+				rt.mach.TouchMemory(core, base+uint64(off))
 			}
 		}
 		for _, ph := range rs.program {
@@ -401,7 +447,7 @@ func (rt *runtime) nextWake() int64 {
 
 // fireWakeups completes exchanges whose transfer finished.
 func (rt *runtime) fireWakeups() {
-	now := rt.chip.Cycle()
+	now := rt.mach.Cycle()
 	for _, rs := range rt.ranks {
 		if rs.wakeAt >= 0 && rs.wakeAt <= now {
 			rs.wakeAt = -1
@@ -428,7 +474,7 @@ func (rt *runtime) advance(rs *rankState) {
 
 // startPhase begins the phase at rs.pc.
 func (rt *runtime) startPhase(rs *rankState) {
-	now := rt.chip.Cycle()
+	now := rt.mach.Cycle()
 	if rs.inCompute {
 		rs.computeAcc += now - rs.computeStart
 		rs.inCompute = false
@@ -439,7 +485,7 @@ func (rt *runtime) startPhase(rs *rankState) {
 		rt.kern.Exit(rs.proc)
 		rt.remaining--
 		if rt.remaining == 0 {
-			rt.chip.Halt()
+			rt.mach.Halt()
 		}
 		return
 	}
@@ -509,7 +555,7 @@ func (rt *runtime) releaseBarrier() {
 			Index:         rt.iteration,
 			Arrival:       arrival,
 			ComputeCycles: comp,
-			Release:       rt.chip.Cycle(),
+			Release:       rt.mach.Cycle(),
 			Kernel:        rt.kern,
 			PIDs:          pids,
 		})
@@ -557,13 +603,13 @@ func (rt *runtime) checkExchanges() {
 			}
 		}
 		rs.commAt = ready
-		if now := rt.chip.Cycle(); now > rs.commAt {
+		if now := rt.mach.Cycle(); now > rs.commAt {
 			rs.commAt = now
 		}
 		rt.tr.Enter(rs.id, trace.Comm, rs.commAt)
 		rs.wakeAt = rs.commAt + lat
 		// Interrupt the chip's current run so the main loop re-targets
 		// to this wakeup instead of overshooting it.
-		rt.chip.Halt()
+		rt.mach.Halt()
 	}
 }

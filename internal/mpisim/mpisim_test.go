@@ -343,3 +343,115 @@ func TestCommLatencyDefault(t *testing.T) {
 		t.Error("bytes do not add latency")
 	}
 }
+
+// multiChipCfg is quietCfg on a chips×2×2 machine.
+func multiChipCfg(chips int) Config {
+	cfg := quietCfg()
+	cfg.Topology = power5.Topology{Chips: chips, CoresPerChip: 2, SMTWays: 2}
+	return cfg
+}
+
+// TestMultiChipRun runs an 8-rank job end-to-end on a 2-chip machine:
+// every context is occupied, barriers span both chips, and per-rank
+// results carry the right (chip, core) coordinates.
+func TestMultiChipRun(t *testing.T) {
+	res, err := Run(balancedJob(8, 20000), DefaultPlacement(8), multiChipCfg(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 1 {
+		t.Fatalf("iterations = %d, want 1", res.Iterations)
+	}
+	if len(res.Ranks) != 8 {
+		t.Fatalf("got %d rank results, want 8", len(res.Ranks))
+	}
+	for r, rr := range res.Ranks {
+		if rr.CPU != r || rr.Core != r/2 || rr.Chip != r/4 {
+			t.Errorf("rank %d at (cpu %d, core %d, chip %d), want (%d, %d, %d)",
+				r, rr.CPU, rr.Core, rr.Chip, r, r/2, r/4)
+		}
+		if rr.ComputePct < 85 {
+			t.Errorf("rank %d compute%% = %.1f, want > 85 for balanced job", r, rr.ComputePct)
+		}
+	}
+	if res.Imbalance > 10 {
+		t.Errorf("balanced 8-rank job shows %.1f%% imbalance", res.Imbalance)
+	}
+}
+
+// TestMultiChipMirrorsSingleChip pins the same 4-rank job to chip 0 and
+// to chip 1 of a 2-chip machine; the chips are identical, so the results
+// must be identical too.
+func TestMultiChipMirrorsSingleChip(t *testing.T) {
+	job := balancedJob(4, 15000)
+	onChip := func(chip int) *Result {
+		pl := DefaultPlacement(4)
+		for i := range pl.CPU {
+			pl.CPU[i] += chip * 4
+		}
+		res, err := Run(job, pl, multiChipCfg(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := onChip(0), onChip(1)
+	if a.Cycles != b.Cycles || a.Imbalance != b.Imbalance {
+		t.Errorf("chip 0 run (%d cycles, %.2f%%) differs from chip 1 run (%d cycles, %.2f%%)",
+			a.Cycles, a.Imbalance, b.Cycles, b.Imbalance)
+	}
+}
+
+// TestMultiChipPriorityBalancing asserts the paper's mechanism operates
+// per-core across the whole node: an imbalanced 8-rank job improves when
+// every heavy rank is favored over its light sibling, on both chips.
+func TestMultiChipPriorityBalancing(t *testing.T) {
+	job := &Job{Name: "imbalanced8"}
+	for r := 0; r < 8; r++ {
+		n := int64(12000)
+		if r%2 == 1 {
+			n = 48000
+		}
+		job.Ranks = append(job.Ranks, Program{Compute(fpu(n)), Barrier(), Compute(fpu(n)), Barrier()})
+	}
+	base, err := Run(job, DefaultPlacement(8), multiChipCfg(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bal := DefaultPlacement(8)
+	for r := 1; r < 8; r += 2 {
+		bal.Prio[r] = hwpri.High // heavy ranks favored (case C per core)
+	}
+	tuned, err := Run(job, bal, multiChipCfg(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tuned.Cycles >= base.Cycles {
+		t.Errorf("priority balancing on 2 chips did not help: %d >= %d cycles", tuned.Cycles, base.Cycles)
+	}
+	if tuned.Imbalance >= base.Imbalance {
+		t.Errorf("imbalance did not shrink: %.2f%% >= %.2f%%", tuned.Imbalance, base.Imbalance)
+	}
+}
+
+// TestTopologyCommLatency pins down the three latency tiers.
+func TestTopologyCommLatency(t *testing.T) {
+	topo := power5.Topology{Chips: 2, CoresPerChip: 2, SMTWays: 2}
+	lat := TopologyCommLatency(topo)
+	if got := lat(0, 1, 0); got != 300 {
+		t.Errorf("same-core latency = %d, want 300", got)
+	}
+	if got := lat(0, 2, 0); got != 800 {
+		t.Errorf("same-chip latency = %d, want 800", got)
+	}
+	if got := lat(0, 4, 0); got != crossChipCommBase {
+		t.Errorf("cross-chip latency = %d, want %d", got, crossChipCommBase)
+	}
+	// Single-chip topologies reduce to DefaultCommLatency.
+	one := TopologyCommLatency(power5.DefaultTopology())
+	for _, c := range [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}} {
+		if got, want := one(c[0], c[1], 256), DefaultCommLatency(c[0], c[1], 256); got != want {
+			t.Errorf("1-chip latency(%d,%d) = %d, want DefaultCommLatency %d", c[0], c[1], got, want)
+		}
+	}
+}

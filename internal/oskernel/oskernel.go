@@ -89,9 +89,12 @@ type Process struct {
 	started bool
 }
 
-// Kernel is the simulated operating system.
+// Kernel is the simulated operating system.  It manages one machine —
+// a single chip on the paper's OpenPower 710, or a multi-chip node
+// (power5.Machine) — addressing every hardware context through a flat
+// logical-CPU namespace, as Linux does.
 type Kernel struct {
-	chip  *power5.Chip
+	mach  *power5.Machine
 	cfg   Config
 	procs map[int]*Process
 	cpus  []*cpuState
@@ -121,15 +124,20 @@ var (
 	ErrCPUBusy = errors.New("oskernel: CPU busy or offline")
 )
 
-// New builds a kernel managing the given chip.
+// New builds a kernel managing the given single chip.
 func New(chip *power5.Chip, cfg Config) *Kernel {
+	return NewMachine(power5.WrapChip(chip), cfg)
+}
+
+// NewMachine builds a kernel managing a (possibly multi-chip) machine.
+func NewMachine(mach *power5.Machine, cfg Config) *Kernel {
 	k := &Kernel{
-		chip:  chip,
+		mach:  mach,
 		cfg:   cfg,
 		procs: make(map[int]*Process),
 		next:  1,
 	}
-	n := chip.Config().Cores * chip.Config().ThreadsPerCore
+	n := mach.Topology().Contexts()
 	for cpu := 0; cpu < n; cpu++ {
 		cs := &cpuState{id: cpu}
 		cs.stream = newCPUStream(k, cs)
@@ -138,12 +146,16 @@ func New(chip *power5.Chip, cfg Config) *Kernel {
 		// the sibling context gets the core's resources.
 		k.applyIdlePriority(cpu)
 	}
-	chip.OnEmpty(k.handleStreamEnd)
+	mach.OnEmpty(k.handleStreamEnd)
 	return k
 }
 
-// Chip returns the underlying chip.
-func (k *Kernel) Chip() *power5.Chip { return k.chip }
+// Chip returns the machine's first chip (the whole machine of the
+// paper's single-chip testbed); multi-chip callers use Machine.
+func (k *Kernel) Chip() *power5.Chip { return k.mach.Chip(0) }
+
+// Machine returns the underlying machine.
+func (k *Kernel) Machine() *power5.Machine { return k.mach }
 
 // Config returns the kernel configuration.
 func (k *Kernel) Config() Config { return k.cfg }
@@ -151,26 +163,26 @@ func (k *Kernel) Config() Config { return k.cfg }
 // NumCPUs returns the number of logical CPUs (SMT contexts).
 func (k *Kernel) NumCPUs() int { return len(k.cpus) }
 
-// coreThread maps a logical CPU to its (core, thread) pair: CPU0/1 are the
-// two contexts of core 0, CPU2/3 of core 1, matching the paper's mapping
-// where P1,P2 share the first core.
+// coreThread maps a logical CPU to its (global core, thread) pair: CPU0/1
+// are the two contexts of core 0, CPU2/3 of core 1, and so on chip-major,
+// matching the paper's mapping where P1,P2 share the first core.
 func (k *Kernel) coreThread(cpu int) (int, int) {
-	tpc := k.chip.Config().ThreadsPerCore
-	return cpu / tpc, cpu % tpc
+	topo := k.mach.Topology()
+	return topo.CoreOf(cpu), topo.ThreadOf(cpu)
 }
 
-// CPUOfCoreThread is the inverse mapping.
+// CPUOfCoreThread is the inverse mapping (core is the global core index).
 func (k *Kernel) CPUOfCoreThread(core, thread int) int {
-	return core*k.chip.Config().ThreadsPerCore + thread
+	return core*k.mach.Topology().SMTWays + thread
 }
 
 func (k *Kernel) applyIdlePriority(cpu int) {
 	core, thr := k.coreThread(cpu)
 	if k.cpus[cpu].offline {
-		k.chip.SetPriority(core, thr, hwpri.ThreadOff)
+		k.mach.SetPriority(core, thr, hwpri.ThreadOff)
 		return
 	}
-	k.chip.SetPriority(core, thr, hwpri.VeryLow)
+	k.mach.SetPriority(core, thr, hwpri.VeryLow)
 }
 
 // Spawn creates a process pinned to cpu with the given user stream and
@@ -192,9 +204,9 @@ func (k *Kernel) Spawn(name string, cpu int, user isa.Stream, hmt hwpri.Priority
 	k.procs[p.PID] = p
 	cs.proc = p
 	core, thr := k.coreThread(cpu)
-	k.chip.SetPriority(core, thr, hmt)
-	k.chip.SetPrivilege(core, thr, hwpri.ProblemState)
-	k.chip.SetStream(core, thr, cs.stream)
+	k.mach.SetPriority(core, thr, hmt)
+	k.mach.SetPrivilege(core, thr, hwpri.ProblemState)
+	k.mach.SetStream(core, thr, cs.stream)
 	p.started = true
 	return p, nil
 }
@@ -208,7 +220,7 @@ func (k *Kernel) Exit(p *Process) {
 	cs.proc = nil
 	delete(k.procs, p.PID)
 	core, thr := k.coreThread(p.CPU)
-	k.chip.SetStream(core, thr, nil)
+	k.mach.SetStream(core, thr, nil)
 	k.applyIdlePriority(p.CPU)
 }
 
@@ -234,7 +246,7 @@ func (k *Kernel) SetUserStream(p *Process, s isa.Stream) {
 		return
 	}
 	core, thr := k.coreThread(p.CPU)
-	k.chip.SetStream(core, thr, cs.stream)
+	k.mach.SetStream(core, thr, cs.stream)
 }
 
 // OnProcessStreamEnd registers the callback fired when a process's user
@@ -269,7 +281,7 @@ func (k *Kernel) WriteHMTPriority(pid int, pri hwpri.Priority) error {
 	}
 	p.HMT = pri
 	core, thr := k.coreThread(p.CPU)
-	k.chip.SetPriority(core, thr, pri)
+	k.mach.SetPriority(core, thr, pri)
 	return nil
 }
 
@@ -327,8 +339,11 @@ func newCPUStream(k *Kernel, cs *cpuState) *cpuStream {
 		Seed: uint64(cs.id) + 1,
 	}.Stream()
 	if k.cfg.TickPeriod > 0 {
-		// Stagger ticks across CPUs as real per-CPU timers are.
-		s.nextTick = k.cfg.TickPeriod + int64(cs.id)*k.cfg.TickPeriod/int64(4)
+		// Stagger ticks across CPUs as real per-CPU timers are.  The
+		// divisor is the machine's context count, so the offsets stay
+		// inside one period whatever the topology (and match the
+		// original 4-context machine exactly on the default topology).
+		s.nextTick = k.cfg.TickPeriod + int64(cs.id)*k.cfg.TickPeriod/int64(k.mach.Topology().Contexts())
 	}
 	for i := range k.cfg.Daemons {
 		if k.cfg.Daemons[i].CPU == cs.id {
@@ -341,7 +356,7 @@ func newCPUStream(k *Kernel, cs *cpuState) *cpuStream {
 
 // Next implements isa.Stream.
 func (s *cpuStream) Next(in *isa.Instr) bool {
-	cycle := s.k.chip.Cycle()
+	cycle := s.k.mach.Cycle()
 	core, thr := s.k.coreThread(s.cs.id)
 
 	if !s.inHandler && !s.inDaemon {
@@ -349,13 +364,13 @@ func (s *cpuStream) Next(in *isa.Instr) bool {
 			s.inHandler = true
 			s.handlerLeft = s.k.cfg.TickCost
 			s.nextTick += s.k.cfg.TickPeriod
-			s.k.chip.SetPrivilege(core, thr, hwpri.Supervisor)
+			s.k.mach.SetPrivilege(core, thr, hwpri.Supervisor)
 			if !s.k.cfg.Patched {
 				// Vanilla kernel: the handler resets the thread
 				// priority to MEDIUM and, since the kernel does not
 				// track the current priority, never restores it
 				// (Section VI-A).
-				s.k.chip.SetPriority(core, thr, hwpri.Medium)
+				s.k.mach.SetPriority(core, thr, hwpri.Medium)
 			}
 		} else if s.daemon != nil && cycle >= s.nextDaemon {
 			s.inDaemon = true
@@ -375,7 +390,7 @@ func (s *cpuStream) Next(in *isa.Instr) bool {
 			s.handlerLeft--
 			if s.handlerLeft <= 0 {
 				s.inHandler = false
-				s.k.chip.SetPrivilege(core, thr, hwpri.ProblemState)
+				s.k.mach.SetPrivilege(core, thr, hwpri.ProblemState)
 			}
 		} else {
 			s.daemonLeft--

@@ -5,6 +5,9 @@ import (
 	"runtime"
 	"testing"
 	"time"
+
+	"repro/internal/mpisim"
+	"repro/internal/power5"
 )
 
 // benchPoints is the full 4-rank placement × user-settable-priority
@@ -37,32 +40,51 @@ func BenchmarkSweepWorkers(b *testing.B) {
 
 // BenchmarkSweepSpeedup runs the same full sweep serially and on four
 // workers within one benchmark iteration and reports the wall-clock
-// ratio.  On a machine with >= 4 CPUs the speedup is >= 2x (the runs are
-// independent and share nothing); on fewer CPUs it degrades toward 1x.
+// ratio, on the paper's single chip and on a 2-chip node (where the
+// pruned space doubles: pairs packed on one L2 versus spread across
+// chips).  On a machine with >= 4 CPUs the speedup is >= 2x (the runs
+// are independent and share nothing); on fewer CPUs it degrades toward
+// 1x.  The per-topology `configs` metric records how much work the
+// chip/core symmetry pruning leaves.
 func BenchmarkSweepSpeedup(b *testing.B) {
-	job := sweepJob(3000)
-	points := benchPoints(b)
-	var speedup float64
-	for i := 0; i < b.N; i++ {
-		t0 := time.Now()
-		serial, err := Sweep(job, points, Options{Workers: 1})
-		if err != nil {
-			b.Fatal(err)
-		}
-		tSerial := time.Since(t0)
-		t0 = time.Now()
-		parallel, err := Sweep(job, points, Options{Workers: 4})
-		if err != nil {
-			b.Fatal(err)
-		}
-		tParallel := time.Since(t0)
-		sb, _ := serial.Best()
-		pb, _ := parallel.Best()
-		if sb.Point.String() != pb.Point.String() {
-			b.Fatal("serial and parallel sweeps disagree on the winner")
-		}
-		speedup = tSerial.Seconds() / tParallel.Seconds()
+	for _, tc := range []struct {
+		name string
+		topo power5.Topology
+	}{
+		{"chips1", power5.DefaultTopology()},
+		{"chips2", power5.Topology{Chips: 2, CoresPerChip: 2, SMTWays: 2}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			job := sweepJob(3000)
+			points, err := Enumerate(4, Space{Topology: tc.topo})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := mpisim.Config{Topology: tc.topo}
+			var speedup float64
+			for i := 0; i < b.N; i++ {
+				t0 := time.Now()
+				serial, err := Sweep(job, points, Options{Workers: 1, Config: cfg})
+				if err != nil {
+					b.Fatal(err)
+				}
+				tSerial := time.Since(t0)
+				t0 = time.Now()
+				parallel, err := Sweep(job, points, Options{Workers: 4, Config: cfg})
+				if err != nil {
+					b.Fatal(err)
+				}
+				tParallel := time.Since(t0)
+				sb, _ := serial.Best()
+				pb, _ := parallel.Best()
+				if sb.Point.String() != pb.Point.String() {
+					b.Fatal("serial and parallel sweeps disagree on the winner")
+				}
+				speedup = tSerial.Seconds() / tParallel.Seconds()
+			}
+			b.ReportMetric(speedup, "speedup-x")
+			b.ReportMetric(float64(len(points)), "configs")
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+		})
 	}
-	b.ReportMetric(speedup, "speedup-x")
-	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
 }

@@ -2,9 +2,11 @@ package sweep
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/hwpri"
 	"repro/internal/mpisim"
+	"repro/internal/power5"
 )
 
 // Pairing partitions a job's ranks into sibling pairs: Pairing[c] holds
@@ -97,23 +99,48 @@ func OSAlphabet() []hwpri.Priority {
 
 // Space describes a configuration space to enumerate.
 type Space struct {
+	// Topology is the machine the placements target; the zero value is
+	// the paper's single-chip 1×2×2 default.
+	Topology power5.Topology
 	// Pairings restricts the rank pairings; nil enumerates Pairings(n).
 	Pairings []Pairing
+	// Assignments restricts the pair -> core maps; nil enumerates
+	// CoreAssignments(n/2, Topology).  A nil entry inside a non-nil
+	// list is the identity assignment (pair i on core i) — pass
+	// [][]int{nil} to keep ranks exactly where a fixed pairing puts
+	// them.
+	Assignments [][]int
 	// Alphabet is the per-rank priority alphabet; nil means UserAlphabet.
 	Alphabet []hwpri.Priority
 }
 
-// Point is one configuration of the space: a pairing plus a priority for
-// every rank.
+// Point is one configuration of the space: a pairing, an assignment of
+// each pair to a physical core, and a priority for every rank.
 type Point struct {
 	Pairing Pairing
-	Prio    []hwpri.Priority
+	// Cores maps pair index -> global core; nil is the identity (pair i
+	// on core i), the only assignment a fully-occupied single-chip
+	// machine admits.
+	Cores []int
+	Prio  []hwpri.Priority
 }
 
-// Placement expands the point into a concrete mpisim placement.
-func (pt Point) Placement() mpisim.Placement { return pt.Pairing.Placement(pt.Prio) }
+// Placement expands the point into a concrete mpisim placement (2-way
+// SMT: pair p's ranks land on the even and odd contexts of its core).
+func (pt Point) Placement() mpisim.Placement {
+	if pt.Cores == nil {
+		return pt.Pairing.Placement(pt.Prio)
+	}
+	cpu := make([]int, 2*len(pt.Pairing))
+	for i, pair := range pt.Pairing {
+		cpu[pair[0]] = 2 * pt.Cores[i]
+		cpu[pair[1]] = 2*pt.Cores[i] + 1
+	}
+	return mpisim.Placement{CPU: cpu, Prio: pt.Prio}
+}
 
-// String renders the point as e.g. "0+3|1+2 @ 6,4,4,2".
+// String renders the point as e.g. "0+3|1+2 @ 6,4,4,2", with a core map
+// suffix ("on 0,2") when the assignment is not the identity.
 func (pt Point) String() string {
 	s := pt.Pairing.String() + " @ "
 	for i, p := range pt.Prio {
@@ -122,28 +149,108 @@ func (pt Point) String() string {
 		}
 		s += fmt.Sprintf("%d", int(p))
 	}
+	if pt.Cores != nil {
+		cs := make([]string, len(pt.Cores))
+		for i, c := range pt.Cores {
+			cs[i] = fmt.Sprint(c)
+		}
+		s += " on " + strings.Join(cs, ",")
+	}
 	return s
 }
 
+// CoreAssignments enumerates every distinct way to place p rank pairs on
+// the cores of the topology, pruned by the machine's two placement
+// symmetries: chips are interchangeable (identical cores and an
+// identical private L2/L3 each) and so are the cores within a chip.  A
+// representative is canonical: pairs are grouped into chips in
+// restricted-growth order (each new pair joins an earlier-opened chip or
+// opens the next one), and within a chip pairs occupy cores in pair
+// order.  The identity assignment (pair i on core i) is returned as nil,
+// matching Point.Cores.
+//
+// On the paper's fully-occupied 1×2×2 machine there is exactly one
+// assignment; on a half-occupied 2×2×2 machine there are two (both pairs
+// sharing one chip's L2, or one pair per chip).
+func CoreAssignments(p int, topo power5.Topology) ([][]int, error) {
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	if p <= 0 {
+		return nil, fmt.Errorf("sweep: need at least one pair, got %d", p)
+	}
+	if p > topo.Cores() {
+		return nil, fmt.Errorf("sweep: %d rank pairs need %d cores, but topology %s has only %d",
+			p, p, topo, topo.Cores())
+	}
+	var (
+		out    [][]int
+		blocks [][]int
+	)
+	emit := func() {
+		asg := make([]int, p)
+		identity := true
+		for b, blk := range blocks {
+			for pos, pi := range blk {
+				asg[pi] = b*topo.CoresPerChip + pos
+				identity = identity && asg[pi] == pi
+			}
+		}
+		if identity {
+			asg = nil
+		}
+		out = append(out, asg)
+	}
+	var rec func(i int)
+	rec = func(i int) {
+		if len(out) > maxSpacePoints {
+			return // overflow: reported below, stop generating
+		}
+		if i == p {
+			emit()
+			return
+		}
+		for b := range blocks {
+			if len(blocks[b]) < topo.CoresPerChip {
+				blocks[b] = append(blocks[b], i)
+				rec(i + 1)
+				blocks[b] = blocks[b][:len(blocks[b])-1]
+			}
+		}
+		if len(blocks) < topo.Chips {
+			blocks = append(blocks, []int{i})
+			rec(i + 1)
+			blocks = blocks[:len(blocks)-1]
+		}
+	}
+	rec(0)
+	if len(out) > maxSpacePoints {
+		return nil, fmt.Errorf("sweep: more than %d distinct core assignments for %d pairs on topology %s; fix the placement or shrink the machine",
+			maxSpacePoints, p, topo)
+	}
+	return out, nil
+}
+
+// maxSpacePoints bounds an enumerated space: beyond it the sweep would
+// not finish in reasonable time anyway, and an explicit error beats an
+// out-of-memory kill.  Shrink the space with Space.Pairings (FixPairing
+// at the public layer) or a smaller alphabet.
+const maxSpacePoints = 1 << 20
+
 // Enumerate lists the full space for n ranks in deterministic order:
-// pairings in Pairings order, and for each pairing the cartesian product
-// of the alphabet over ranks, last rank varying fastest.  n must be even
-// (pairings fill whole cores; whether n fits the machine is checked by
-// the simulator at run time).  Priorities outside the OS range 1..6 are
-// rejected: 0 and 7 change the machine's context population, which the
-// enumerator deliberately keeps fixed.
+// pairings in Pairings order, for each pairing the core assignments in
+// CoreAssignments order, and for each the cartesian product of the
+// alphabet over ranks, last rank varying fastest.  n must be even
+// (pairings fill whole cores) and fit the space's topology.  Priorities
+// outside the OS range 1..6 are rejected: 0 and 7 change the machine's
+// context population, which the enumerator deliberately keeps fixed.
 func Enumerate(n int, sp Space) ([]Point, error) {
 	if n <= 0 || n%2 != 0 {
 		return nil, fmt.Errorf("sweep: need an even positive rank count, got %d", n)
 	}
-	pairings := sp.Pairings
-	if pairings == nil {
-		pairings = Pairings(n)
-	}
-	for _, p := range pairings {
-		if err := validPairing(n, p); err != nil {
-			return nil, err
-		}
+	topo := sp.Topology
+	if topo.IsZero() {
+		topo = power5.DefaultTopology()
 	}
 	alphabet := sp.Alphabet
 	if alphabet == nil {
@@ -160,37 +267,117 @@ func Enumerate(n int, sp Space) ([]Point, error) {
 		seen[p] = true
 	}
 
-	total := len(pairings)
-	for i := 0; i < n; i++ {
+	// Apply the cap arithmetically BEFORE materializing anything: for
+	// large n the (n-1)!! pairing list alone would exhaust memory long
+	// before the post-enumeration check could fire.  Core assignments
+	// only multiply the space further, so this lower bound is safe.
+	capCheck := func(pairingCount int) error {
+		total := pairingCount
+		for i := 0; i < n && total <= maxSpacePoints; i++ {
+			total *= len(alphabet)
+		}
+		if total > maxSpacePoints {
+			return fmt.Errorf("sweep: space has more than %d configurations (at least %d pairings × %d^%d priorities); fix the pairing or shrink the alphabet",
+				maxSpacePoints, pairingCount, len(alphabet), n)
+		}
+		return nil
+	}
+	pairings := sp.Pairings
+	if pairings == nil {
+		count := 1 // (n-1)!!
+		for k := n - 1; k > 1 && count <= maxSpacePoints; k -= 2 {
+			count *= k
+		}
+		if err := capCheck(count); err != nil {
+			return nil, err
+		}
+		pairings = Pairings(n)
+	} else if err := capCheck(len(pairings)); err != nil {
+		return nil, err
+	}
+	for _, p := range pairings {
+		if err := validPairing(n, p); err != nil {
+			return nil, err
+		}
+	}
+	assignments := sp.Assignments
+	if assignments == nil {
+		var err error
+		if assignments, err = CoreAssignments(n/2, topo); err != nil {
+			return nil, err
+		}
+	} else {
+		for _, asg := range assignments {
+			if err := validAssignment(n/2, topo, asg); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	total := len(pairings) * len(assignments)
+	for i := 0; i < n && total <= maxSpacePoints; i++ {
 		total *= len(alphabet)
+	}
+	if total > maxSpacePoints {
+		return nil, fmt.Errorf("sweep: space has more than %d configurations (%d pairings × %d core maps × %d^%d priorities); fix the pairing or shrink the alphabet",
+			maxSpacePoints, len(pairings), len(assignments), len(alphabet), n)
 	}
 	out := make([]Point, 0, total)
 	idx := make([]int, n)
 	for _, pairing := range pairings {
-		for i := range idx {
-			idx[i] = 0
-		}
-		for {
-			prio := make([]hwpri.Priority, n)
-			for r, k := range idx {
-				prio[r] = alphabet[k]
+		for _, cores := range assignments {
+			for i := range idx {
+				idx[i] = 0
 			}
-			out = append(out, Point{Pairing: pairing, Prio: prio})
-			// Odometer increment, last rank fastest.
-			r := n - 1
-			for ; r >= 0; r-- {
-				idx[r]++
-				if idx[r] < len(alphabet) {
+			for {
+				prio := make([]hwpri.Priority, n)
+				for r, k := range idx {
+					prio[r] = alphabet[k]
+				}
+				out = append(out, Point{Pairing: pairing, Cores: cores, Prio: prio})
+				// Odometer increment, last rank fastest.
+				r := n - 1
+				for ; r >= 0; r-- {
+					idx[r]++
+					if idx[r] < len(alphabet) {
+						break
+					}
+					idx[r] = 0
+				}
+				if r < 0 {
 					break
 				}
-				idx[r] = 0
-			}
-			if r < 0 {
-				break
 			}
 		}
 	}
 	return out, nil
+}
+
+// validAssignment checks a provided pair -> core map against the
+// topology: nil is the identity (needs p cores), otherwise p distinct
+// in-range cores.
+func validAssignment(p int, topo power5.Topology, asg []int) error {
+	if asg == nil {
+		if p > topo.Cores() {
+			return fmt.Errorf("sweep: identity assignment needs %d cores, but topology %s has only %d",
+				p, topo, topo.Cores())
+		}
+		return nil
+	}
+	if len(asg) != p {
+		return fmt.Errorf("sweep: assignment %v maps %d pairs, want %d", asg, len(asg), p)
+	}
+	seen := make(map[int]bool)
+	for _, c := range asg {
+		if c < 0 || c >= topo.Cores() {
+			return fmt.Errorf("sweep: assignment %v names core %d outside topology %s", asg, c, topo)
+		}
+		if seen[c] {
+			return fmt.Errorf("sweep: assignment %v repeats core %d", asg, c)
+		}
+		seen[c] = true
+	}
+	return nil
 }
 
 // validPairing checks that a pairing is a canonical partition of [0, n).

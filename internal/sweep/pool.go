@@ -10,16 +10,26 @@
 //     pool is race-free by construction and its output is independent of
 //     the worker count and of scheduling order.
 //
-//   - Enumerators for the configuration space (Pairings, Enumerate):
-//     every distinct way to co-schedule ranks on the chip's SMT cores
-//     crossed with a per-rank hardware-priority alphabet, with the
-//     core-relabeling and sibling-context symmetries pruned away.
+//   - Enumerators for the configuration space (Pairings, CoreAssignments,
+//     Enumerate): every distinct way to co-schedule ranks in sibling
+//     pairs on the machine's SMT cores — any power5.Topology, not just
+//     the paper's single chip — crossed with a per-rank hardware-priority
+//     alphabet, with the chip-relabeling, core-relabeling and
+//     sibling-context symmetries pruned away.  On a 2×2×2 machine the
+//     pruning collapses the 144 co-scheduled CPU maps of a 4-rank job to
+//     6 representatives.  Placements that leave a rank alone on a core
+//     are outside the space by design: the mechanism under study
+//     arbitrates between siblings, and the paper expresses dedicated
+//     cores as ST-mode rows (priority 7), not as sweep points.
 //
-//   - The sweep itself (Sweep): fan independent mpisim.Run calls — the
+//   - The sweep itself (Sweep): shard independent mpisim.Run calls — the
 //     simulator is pure and shares nothing between runs — across the
 //     pool, score each run with a pluggable Objective, and aggregate into
 //     a stable ranking that is byte-identical whether the sweep ran on
-//     one worker or fifty.
+//     one worker or fifty.  Multi-chip spaces are larger even after
+//     pruning, so the same index-sharded pool is what keeps 2-chip
+//     sweeps tractable: points are claimed one index at a time and each
+//     worker's results land in pre-allocated slots.
 package sweep
 
 import (

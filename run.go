@@ -69,17 +69,24 @@ type Job struct {
 }
 
 // Placement pins ranks to the machine's logical CPUs.  CPUs 0 and 1 are
-// the two SMT contexts of core 0; CPUs 2 and 3 of core 1 — so ranks on
-// CPUs 2k and 2k+1 share a core and compete for its decode cycles.
+// the two SMT contexts of core 0; CPUs 2 and 3 of core 1; and so on
+// chip-major across the topology — so ranks on CPUs 2k and 2k+1 always
+// share a core and compete for its decode cycles.  On the default
+// topology the valid CPUs are 0..3; Options.Topology widens the range.
+// Use Topology.CPUOf / ParsePlacement to build placements from
+// (chip, core, context) triples.
 type Placement struct {
-	// CPU maps rank -> logical CPU (0..3).
+	// CPU maps rank -> logical CPU (0..Topology.Contexts()-1).
 	CPU []int
 	// Priority maps rank -> hardware thread priority.
 	Priority []Priority
 }
 
 // PinInOrder pins rank i to CPU i at medium priority — the paper's
-// reference configuration (Case A).
+// reference configuration (Case A).  The placement is topology-agnostic:
+// Run validates it against the run's Options.Topology and returns a
+// descriptive error if n exceeds that machine's context count.  To
+// validate eagerly against a known machine, use Topology.PinInOrder.
 func PinInOrder(n int) Placement {
 	pl := Placement{CPU: make([]int, n), Priority: make([]Priority, n)}
 	for i := range pl.CPU {
@@ -87,6 +94,33 @@ func PinInOrder(n int) Placement {
 		pl.Priority[i] = PriorityMedium
 	}
 	return pl
+}
+
+// validate checks the placement against a topology, catching the
+// out-of-range and double-pin mistakes up front with errors that name
+// the topology instead of failing deep inside the simulator.
+func (pl Placement) validate(t Topology) error {
+	t = t.normalized()
+	// A partially-specified topology (e.g. only Chips set) must fail
+	// with its own descriptive error, not a zero-context machine.
+	if err := t.Validate(); err != nil {
+		return fmt.Errorf("smtbalance: invalid Options.Topology: %w", err)
+	}
+	if len(pl.CPU) != len(pl.Priority) {
+		return fmt.Errorf("smtbalance: placement maps %d CPUs but %d priorities", len(pl.CPU), len(pl.Priority))
+	}
+	seen := make(map[int]bool)
+	for r, cpu := range pl.CPU {
+		if cpu < 0 || cpu >= t.Contexts() {
+			return fmt.Errorf("smtbalance: rank %d is pinned to CPU %d, but the %s topology has only %d hardware contexts (CPUs 0..%d); grow Options.Topology (e.g. Chips: %d) or shrink the job",
+				r, cpu, t, t.Contexts(), t.Contexts()-1, cpu/(t.CoresPerChip*t.SMTWays)+1)
+		}
+		if seen[cpu] {
+			return fmt.Errorf("smtbalance: CPU %d is pinned twice", cpu)
+		}
+		seen[cpu] = true
+	}
+	return nil
 }
 
 // IterationStats is delivered to Options.OnIteration at every barrier
@@ -105,8 +139,13 @@ type IterationStats struct {
 
 // Options tunes a run.  The zero value (or nil) is the paper's
 // environment: the patched kernel with 1000 Hz-equivalent timer ticks,
-// warmed caches, no balancer.
+// warmed caches, no balancer, the single-chip machine.
 type Options struct {
+	// Topology sizes the machine as chips × cores-per-chip × SMT ways.
+	// The zero value is the paper's 1×2×2 OpenPower 710 (4 contexts);
+	// e.g. Topology{Chips: 2, CoresPerChip: 2, SMTWays: 2} runs 8-rank
+	// jobs.  Every paper table assumes the default.
+	Topology Topology
 	// VanillaKernel removes the paper's kernel patch: priorities decay
 	// to medium at the first interrupt and the procfs interface is gone.
 	VanillaKernel bool
@@ -131,8 +170,9 @@ type Options struct {
 
 // RankSummary is one rank's outcome.
 type RankSummary struct {
-	// CPU and Core locate the rank on the machine.
-	CPU, Core int
+	// CPU, Core and Chip locate the rank on the machine (Core is the
+	// global chip-major core index; Chip is 0 on the default topology).
+	CPU, Core, Chip int
 	// Priority is the rank's launch priority.
 	Priority Priority
 	// ComputePct, SyncPct and CommPct split the rank's time between
@@ -208,6 +248,7 @@ func (opts *Options) simConfig() mpisim.Config {
 	}
 	return mpisim.Config{
 		Chip:       power5.DefaultConfig(),
+		Topology:   opts.Topology.inner(),
 		Kernel:     kcfg,
 		KernelSet:  true,
 		MaxCycles:  opts.MaxCycles,
@@ -215,10 +256,14 @@ func (opts *Options) simConfig() mpisim.Config {
 	}
 }
 
-// Run executes the job under the placement.
+// Run executes the job under the placement on the machine described by
+// Options.Topology (the paper's single chip by default).
 func Run(job Job, pl Placement, opts *Options) (*Result, error) {
 	if opts == nil {
 		opts = &Options{}
+	}
+	if err := pl.validate(opts.Topology); err != nil {
+		return nil, err
 	}
 	inner := job.inner()
 	ipl, err := pl.inner()
@@ -267,6 +312,7 @@ func Run(job Job, pl Placement, opts *Options) (*Result, error) {
 		out.Ranks = append(out.Ranks, RankSummary{
 			CPU:          rr.CPU,
 			Core:         rr.Core,
+			Chip:         rr.Chip,
 			Priority:     Priority(rr.Prio),
 			ComputePct:   rr.ComputePct,
 			SyncPct:      rr.SyncPct,
@@ -282,15 +328,8 @@ func Run(job Job, pl Placement, opts *Options) (*Result, error) {
 // profiling run): the heaviest rank is paired with the lightest on the
 // same core and each pair's priority difference is chosen with the
 // decode-share performance model — the procedure the paper's authors
-// followed by hand for Tables IV-VI.
+// followed by hand for Tables IV-VI.  It plans for the default 1×2×2
+// machine; use Topology.SuggestPlacement for larger nodes.
 func SuggestPlacement(works []float64) (Placement, error) {
-	plan, err := core.PlanStatic(works, 2, core.DefaultModel())
-	if err != nil {
-		return Placement{}, err
-	}
-	pl := Placement{CPU: plan.CPU}
-	for _, p := range plan.Prio {
-		pl.Priority = append(pl.Priority, Priority(p))
-	}
-	return pl, nil
+	return DefaultTopology().SuggestPlacement(works)
 }

@@ -10,8 +10,14 @@
 // packages) behind a small public API:
 //
 //   - Build an MPI-style Job from Compute/Barrier/Exchange phases.
-//   - Pin ranks to the machine's four hardware contexts with a Placement,
-//     choosing each rank's hardware thread priority (0-7).
+//   - Pin ranks to the machine's hardware contexts with a Placement,
+//     choosing each rank's hardware thread priority (0-7).  The default
+//     machine is the paper's single chip (2 cores × 2-way SMT = 4
+//     contexts); Options.Topology scales the node to N chips — each
+//     with its own shared L2/L3 — and Topology.PinInOrder,
+//     Topology.SuggestPlacement and ParsePlacement build placements for
+//     it from (chip, core, context) coordinates.  Every paper table
+//     assumes the 1×2×2 default.
 //   - Run the job; the Result carries the paper's metrics (execution
 //     time, per-rank computation/synchronization shares, the imbalance
 //     percentage) and a PARAVER-style timeline.
@@ -22,7 +28,10 @@
 //     configuration out across a worker pool and ranks them by a
 //     pluggable objective, and OptimizePlacement returns the best
 //     configuration found — the by-hand procedure behind the paper's
-//     Tables IV-VI, automated and parallel.
+//     Tables IV-VI, automated and parallel.  On multi-chip topologies
+//     the space additionally covers packing co-scheduled pairs onto one
+//     chip's L2 versus spreading them across chips, with chip- and
+//     core-relabeling symmetries pruned.
 //
 // The quickstart example:
 //

@@ -11,17 +11,23 @@ import (
 
 // Space describes the placement × priority search space of a sweep: the
 // cross product of every distinct way to co-schedule the job's ranks on
-// the machine's SMT cores (core-relabeling and sibling-context symmetries
-// pruned) with a per-rank priority alphabet.  A 4-rank job has 3 distinct
-// pairings; the user-settable alphabet {2,3,4} then yields 243
-// configurations, the OS-settable alphabet {2..6} 1875.
+// the machine's SMT cores (chip-relabeling, core-relabeling and
+// sibling-context symmetries pruned) with a per-rank priority alphabet.
+// On the default machine a 4-rank job has 3 distinct pairings; the
+// user-settable alphabet {2,3,4} then yields 243 configurations, the
+// OS-settable alphabet {2..6} 1875.  The machine itself comes from
+// SweepOptions.Run.Topology: on a 2×2×2 node the same 4-rank job gains a
+// second core map per pairing (pairs packed on one chip's L2 or spread
+// across chips), doubling the space.
 type Space struct {
 	// Priorities is the per-rank priority alphabet; nil means the
 	// user-settable set (PriorityLow, PriorityMediumLow, PriorityMedium).
 	Priorities []Priority
-	// FixPairing keeps the job's in-order pairing (ranks 2c and 2c+1
-	// share core c) instead of enumerating every pairing — the space to
-	// use when ranks are already placed and only priorities may move.
+	// FixPairing keeps the job's in-order placement (ranks 2c and 2c+1
+	// share core c) instead of enumerating every pairing and core map —
+	// the space to use when ranks are already placed and only
+	// priorities may move.  On multi-chip topologies this fixes the
+	// core map too: the pairs stay on cores 0..n/2-1.
 	FixPairing bool
 }
 
@@ -150,8 +156,9 @@ func (r *SweepResult) WriteCSV(w io.Writer) error {
 // a worker pool and returns the objective's ranking.  Runs share
 // nothing, so the sweep parallelizes linearly with CPUs, and the
 // aggregation is input-order based, so the ranking does not depend on
-// the worker count.  The job must have an even number of ranks that fits
-// the machine (four for the default POWER5 model).
+// the worker count.  The job must have an even number of ranks whose
+// pairs fit the machine's cores (up to four ranks on the default POWER5
+// model; Run.Topology opens larger machines).
 func Sweep(job Job, space Space, opts *SweepOptions) (*SweepResult, error) {
 	if opts == nil {
 		opts = &SweepOptions{}
@@ -164,7 +171,7 @@ func Sweep(job Job, space Space, opts *SweepOptions) (*SweepResult, error) {
 		return nil, fmt.Errorf("smtbalance: DynamicBalance/OnIteration are not supported in sweeps")
 	}
 	n := len(job.Ranks)
-	sp := sweep.Space{}
+	sp := sweep.Space{Topology: runOpts.Topology.inner()}
 	if space.FixPairing {
 		if n%2 != 0 {
 			return nil, fmt.Errorf("smtbalance: sweep needs an even rank count, got %d", n)
@@ -174,6 +181,9 @@ func Sweep(job Job, space Space, opts *SweepOptions) (*SweepResult, error) {
 			pairing = append(pairing, [2]int{2 * c, 2*c + 1})
 		}
 		sp.Pairings = []sweep.Pairing{pairing}
+		// Only priorities may move: pin the core map to the identity
+		// instead of letting a multi-chip topology re-spread the pairs.
+		sp.Assignments = [][]int{nil}
 	}
 	for _, p := range space.Priorities {
 		if !p.Valid() {

@@ -1,0 +1,180 @@
+package smtbalance
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/power5"
+)
+
+// Topology describes the simulated machine as chips × cores-per-chip ×
+// SMT-ways.  The zero value means the paper's machine — one POWER5 chip,
+// two cores, 2-way SMT, i.e. four hardware contexts — which is also what
+// every paper table assumes.  Larger nodes are expressed by raising
+// Chips or CoresPerChip; each chip keeps its own shared L2/L3, so ranks
+// on different chips stop contending for cache but pay a higher exchange
+// latency.  SMTWays must be 2: the hardware priority mechanism is
+// defined for exactly two sibling contexts per core.
+//
+// Logical CPUs are numbered chip-major: CPU = (chip*CoresPerChip +
+// core)*2 + context, so CPUs 2k and 2k+1 always share a core.
+type Topology struct {
+	// Chips is the number of chips (1..64).
+	Chips int
+	// CoresPerChip is the number of cores per chip (1..64).
+	CoresPerChip int
+	// SMTWays is the SMT width per core (must be 2).
+	SMTWays int
+}
+
+// DefaultTopology returns the paper's 1×2×2 machine.
+func DefaultTopology() Topology { return Topology{Chips: 1, CoresPerChip: 2, SMTWays: 2} }
+
+// normalized resolves the zero value to the default topology.
+func (t Topology) normalized() Topology {
+	if t == (Topology{}) {
+		return DefaultTopology()
+	}
+	return t
+}
+
+// inner converts to the simulator's topology type.
+func (t Topology) inner() power5.Topology {
+	t = t.normalized()
+	return power5.Topology{Chips: t.Chips, CoresPerChip: t.CoresPerChip, SMTWays: t.SMTWays}
+}
+
+// Validate checks the topology's shape (the zero value is valid: it
+// means the default).
+func (t Topology) Validate() error { return t.inner().Validate() }
+
+// Cores returns the total core count across all chips.
+func (t Topology) Cores() int { t = t.normalized(); return t.Chips * t.CoresPerChip }
+
+// Contexts returns the total hardware context (logical CPU) count.
+func (t Topology) Contexts() int { return t.Cores() * t.normalized().SMTWays }
+
+// String renders the topology as "chips x cores x smt", e.g. "2x2x2";
+// ParseTopology accepts the same form.
+func (t Topology) String() string { return t.inner().String() }
+
+// CPUOf returns the logical CPU of a (chip, core, context) triple.
+func (t Topology) CPUOf(chip, coreIdx, context int) (int, error) {
+	return t.inner().CPUOf(chip, coreIdx, context)
+}
+
+// Locate returns the (chip, core, context) triple of a logical CPU in
+// [0, Contexts()).
+func (t Topology) Locate(cpu int) (chip, coreIdx, context int) { return t.inner().Locate(cpu) }
+
+// ParseTopology parses a "chips x cores x smt" string such as "2x2x2".
+// A successful parse always yields a valid topology.
+func ParseTopology(s string) (Topology, error) {
+	pt, err := power5.ParseTopology(s)
+	if err != nil {
+		return Topology{}, fmt.Errorf("smtbalance: %w", err)
+	}
+	return Topology{Chips: pt.Chips, CoresPerChip: pt.CoresPerChip, SMTWays: pt.SMTWays}, nil
+}
+
+// PinInOrder pins rank i to CPU i of this topology at medium priority —
+// the paper's reference configuration generalized to any machine size.
+// Unlike the package-level PinInOrder it reports immediately, with a
+// descriptive error, when n exceeds the topology's context count.
+func (t Topology) PinInOrder(n int) (Placement, error) {
+	t = t.normalized()
+	if err := t.Validate(); err != nil {
+		return Placement{}, fmt.Errorf("smtbalance: %w", err)
+	}
+	if n <= 0 {
+		return Placement{}, fmt.Errorf("smtbalance: PinInOrder needs a positive rank count, got %d", n)
+	}
+	if n > t.Contexts() {
+		return Placement{}, fmt.Errorf("smtbalance: PinInOrder(%d): the %s topology has only %d hardware contexts; grow the topology (e.g. Chips: %d) or shrink the job",
+			n, t, t.Contexts(), (n+t.CoresPerChip*t.SMTWays-1)/(t.CoresPerChip*t.SMTWays))
+	}
+	return PinInOrder(n), nil
+}
+
+// SuggestPlacement derives a static placement and priority plan for this
+// topology from per-rank work estimates: the heaviest rank is paired
+// with the lightest on the same core and each pair's priority difference
+// is chosen with the decode-share performance model — the paper's
+// by-hand procedure, generalized so the pairing spreads across every
+// core of a multi-chip node.
+func (t Topology) SuggestPlacement(works []float64) (Placement, error) {
+	t = t.normalized()
+	if err := t.Validate(); err != nil {
+		return Placement{}, fmt.Errorf("smtbalance: %w", err)
+	}
+	plan, err := core.PlanStatic(works, t.Cores(), core.DefaultModel())
+	if err != nil {
+		return Placement{}, err
+	}
+	pl := Placement{CPU: plan.CPU}
+	for _, p := range plan.Prio {
+		pl.Priority = append(pl.Priority, Priority(p))
+	}
+	return pl, nil
+}
+
+// ParsePlacement parses a placement string for the topology: one
+// comma-separated entry per rank, each a "chip.core.context" triple with
+// an optional "@priority" suffix (default medium), e.g.
+//
+//	"0.0.0@4,0.0.1@6,0.1.0,1.0.0@5"
+//
+// Entries are validated against the topology: every triple must be in
+// range and no context may be pinned twice.
+func ParsePlacement(t Topology, s string) (Placement, error) {
+	t = t.normalized()
+	if err := t.Validate(); err != nil {
+		return Placement{}, fmt.Errorf("smtbalance: %w", err)
+	}
+	fields := strings.Split(s, ",")
+	if len(fields) == 1 && strings.TrimSpace(fields[0]) == "" {
+		return Placement{}, fmt.Errorf("smtbalance: empty placement")
+	}
+	pl := Placement{}
+	seen := make(map[int]bool)
+	for rank, f := range fields {
+		entry := strings.TrimSpace(f)
+		prio := PriorityMedium
+		if at := strings.IndexByte(entry, '@'); at >= 0 {
+			p, err := strconv.Atoi(strings.TrimSpace(entry[at+1:]))
+			if err != nil {
+				return Placement{}, fmt.Errorf("smtbalance: rank %d: bad priority %q", rank, entry[at+1:])
+			}
+			prio = Priority(p)
+			if !prio.Valid() {
+				return Placement{}, fmt.Errorf("smtbalance: rank %d: priority %d outside 0..7", rank, p)
+			}
+			entry = strings.TrimSpace(entry[:at])
+		}
+		parts := strings.Split(entry, ".")
+		if len(parts) != 3 {
+			return Placement{}, fmt.Errorf("smtbalance: rank %d: want chip.core.context, got %q", rank, entry)
+		}
+		var triple [3]int
+		for i, p := range parts {
+			v, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil {
+				return Placement{}, fmt.Errorf("smtbalance: rank %d: bad coordinate %q in %q", rank, p, entry)
+			}
+			triple[i] = v
+		}
+		cpu, err := t.CPUOf(triple[0], triple[1], triple[2])
+		if err != nil {
+			return Placement{}, fmt.Errorf("smtbalance: rank %d: %w", rank, err)
+		}
+		if seen[cpu] {
+			return Placement{}, fmt.Errorf("smtbalance: rank %d: context %s already pinned", rank, entry)
+		}
+		seen[cpu] = true
+		pl.CPU = append(pl.CPU, cpu)
+		pl.Priority = append(pl.Priority, prio)
+	}
+	return pl, nil
+}
