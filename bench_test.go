@@ -11,7 +11,9 @@
 package smtbalance
 
 import (
+	"context"
 	"testing"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/hwpri"
@@ -269,4 +271,65 @@ func BenchmarkExtrinsicNoise(b *testing.B) {
 	}
 	b.ReportMetric(r.NoisyImbalance, "noisy-imb-%")
 	b.ReportMetric(100*(r.NoisySeconds-r.CompensatedSeconds)/r.NoisySeconds, "recovered-%")
+}
+
+// BenchmarkCacheHitSpeedup measures the Machine's deterministic result
+// cache: one cold run of the quickstart-sized job versus cached re-runs
+// of the identical configuration.  The cached path must be at least 10x
+// faster — it is a map lookup plus a shallow copy against a full
+// simulation — and the benchmark fails if it is not, so CI's bench
+// smoke run guards the cache from regressing into uselessness.
+func BenchmarkCacheHitSpeedup(b *testing.B) {
+	job := Job{Name: "cache", Ranks: [][]Phase{
+		{Compute("fpu", 50_000), Barrier()},
+		{Compute("fpu", 220_000), Barrier()},
+		{Compute("fpu", 50_000), Barrier()},
+		{Compute("fpu", 220_000), Barrier()},
+	}}
+	m, err := NewMachine(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	pl := PinInOrder(4)
+
+	start := time.Now()
+	cold, err := m.Run(ctx, job, pl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	coldTime := time.Since(start)
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := m.Run(ctx, job, pl)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Cycles != cold.Cycles {
+			b.Fatalf("cached run returned %d cycles, cold run %d", res.Cycles, cold.Cycles)
+		}
+	}
+	b.StopTimer()
+	if st := m.CacheStats(); st.Hits < int64(b.N) {
+		b.Fatalf("cache hits %d < %d re-runs", st.Hits, b.N)
+	}
+	// Gate on an average over a fixed batch of cached runs, independent
+	// of b.N: under CI's -benchtime=1x a single-iteration sample would
+	// let one scheduler hiccup fail the build.
+	const warmRuns = 256
+	warmStart := time.Now()
+	for i := 0; i < warmRuns; i++ {
+		if _, err := m.Run(ctx, job, pl); err != nil {
+			b.Fatal(err)
+		}
+	}
+	warmTime := time.Since(warmStart) / warmRuns
+	speedup := float64(coldTime) / float64(warmTime)
+	b.ReportMetric(speedup, "cache-speedup-x")
+	b.ReportMetric(coldTime.Seconds()*1000, "cold-ms")
+	b.ReportMetric(warmTime.Seconds()*1000, "warm-ms")
+	if speedup < 10 {
+		b.Fatalf("cache speedup %.1fx < 10x (cold %v, warm %v)", speedup, coldTime, warmTime)
+	}
 }

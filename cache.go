@@ -1,0 +1,228 @@
+package smtbalance
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sync"
+
+	"repro/internal/mpisim"
+	"repro/internal/sweep"
+)
+
+// cacheKey identifies one deterministic simulator configuration: a
+// canonical SHA-256 over (topology, simulation options, job, placement).
+// The simulator is pure, so equal keys mean byte-identical outcomes.
+type cacheKey [sha256.Size]byte
+
+// hasher accumulates the canonical encoding.  Every field is written
+// with an explicit tag and fixed-width integers so that distinct
+// configurations can never collide by concatenation ambiguity.
+type hasher struct {
+	buf []byte
+}
+
+func (h *hasher) u64(v uint64) {
+	h.buf = binary.BigEndian.AppendUint64(h.buf, v)
+}
+
+func (h *hasher) i64(v int64) { h.u64(uint64(v)) }
+
+func (h *hasher) tag(b byte) { h.buf = append(h.buf, b) }
+
+func (h *hasher) bool(v bool) {
+	if v {
+		h.tag(1)
+	} else {
+		h.tag(0)
+	}
+}
+
+// envJobKey hashes the run environment and the job — everything but the
+// placement, which sweeps vary point by point.  Job.Name is deliberately
+// excluded: it labels diagnostics and never reaches the simulated
+// machine, so two jobs differing only in name share cache entries.
+func envJobKey(topo Topology, opts Options, job Job) [sha256.Size]byte {
+	var h hasher
+	h.tag('v')
+	h.tag('1')
+	topo = topo.normalized()
+	h.i64(int64(topo.Chips))
+	h.i64(int64(topo.CoresPerChip))
+	h.i64(int64(topo.SMTWays))
+	h.bool(opts.VanillaKernel)
+	h.bool(opts.NoOSNoise)
+	h.bool(opts.ColdCaches)
+	h.bool(opts.DynamicBalance)
+	maxDiff := opts.MaxPriorityDiff
+	if !opts.DynamicBalance {
+		maxDiff = 0 // irrelevant without the balancer: do not split the key
+	}
+	h.i64(int64(maxDiff))
+	h.i64(opts.MaxCycles)
+	h.i64(int64(len(job.Ranks)))
+	for _, prog := range job.Ranks {
+		h.tag('R')
+		h.i64(int64(len(prog)))
+		for _, ph := range prog {
+			switch ph.inner.Kind {
+			case mpisim.PhaseCompute:
+				h.tag('C')
+				h.u64(uint64(ph.inner.Load.Kind))
+				h.i64(ph.inner.Load.N)
+				h.i64(ph.inner.Load.Footprint)
+				h.u64(ph.inner.Load.Base)
+				h.u64(ph.inner.Load.Seed)
+			case mpisim.PhaseBarrier:
+				h.tag('B')
+			case mpisim.PhaseExchange:
+				h.tag('E')
+				h.i64(ph.inner.Bytes)
+				h.i64(int64(len(ph.inner.Peers)))
+				for _, p := range ph.inner.Peers {
+					h.i64(int64(p))
+				}
+			}
+		}
+	}
+	return sha256.Sum256(h.buf)
+}
+
+// placementKey extends an environment+job hash with a concrete placement,
+// yielding the full cache key of one run.
+func placementKey(base [sha256.Size]byte, cpu []int, prio []int) cacheKey {
+	var h hasher
+	h.buf = append(h.buf, base[:]...)
+	h.tag('P')
+	h.i64(int64(len(cpu)))
+	for _, c := range cpu {
+		h.i64(int64(c))
+	}
+	for _, p := range prio {
+		h.i64(int64(p))
+	}
+	return sha256.Sum256(h.buf)
+}
+
+// CacheStats reports a Machine's result-cache effectiveness.
+type CacheStats struct {
+	// Hits and Misses count lookups served from memory versus simulated.
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// Results and Metrics are the current entry counts of the two cache
+	// layers (full run results and sweep-point metrics).
+	Results int `json:"results"`
+	Metrics int `json:"metrics"`
+}
+
+// resultCache is the Machine's deterministic result store.  It has two
+// layers keyed by the same canonical hash: full Results (with traces)
+// for Machine.Run, and lightweight sweep metrics for the many points a
+// sweep evaluates.  Both layers are bounded with FIFO eviction — the
+// simulator is pure, so eviction only costs a re-run, never correctness.
+type resultCache struct {
+	mu           sync.Mutex
+	hits, misses int64
+
+	runs     map[cacheKey]*Result
+	runOrder []cacheKey
+	runCap   int
+
+	mets     map[cacheKey]sweep.Metrics
+	metOrder []cacheKey
+	metCap   int
+}
+
+// Default cache bounds: full results carry traces (tens of KB each),
+// metrics are three numbers, so the metrics layer affords far more
+// entries — enough to hold the paper's whole OS-settable 4-rank space.
+const (
+	defaultRunCacheCap    = 512
+	defaultMetricCacheCap = 1 << 16
+)
+
+func newResultCache() *resultCache {
+	return &resultCache{
+		runs:   make(map[cacheKey]*Result),
+		runCap: defaultRunCacheCap,
+		mets:   make(map[cacheKey]sweep.Metrics),
+		metCap: defaultMetricCacheCap,
+	}
+}
+
+func (c *resultCache) getRun(k cacheKey) (*Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	res, ok := c.runs[k]
+	if ok {
+		c.hits++
+		return res.clone(), true
+	}
+	c.misses++
+	return nil, false
+}
+
+func (c *resultCache) putRun(k cacheKey, res *Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.runs[k]; ok {
+		return
+	}
+	if len(c.runs) >= c.runCap {
+		evict := c.runOrder[0]
+		c.runOrder = c.runOrder[1:]
+		delete(c.runs, evict)
+	}
+	c.runs[k] = res.clone()
+	c.runOrder = append(c.runOrder, k)
+}
+
+func (c *resultCache) getMetrics(k cacheKey) (sweep.Metrics, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	met, ok := c.mets[k]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return met, ok
+}
+
+func (c *resultCache) putMetrics(k cacheKey, met sweep.Metrics) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.mets[k]; ok {
+		return
+	}
+	if len(c.mets) >= c.metCap {
+		evict := c.metOrder[0]
+		c.metOrder = c.metOrder[1:]
+		delete(c.mets, evict)
+	}
+	c.mets[k] = met
+	c.metOrder = append(c.metOrder, k)
+}
+
+func (c *resultCache) clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.runs = make(map[cacheKey]*Result)
+	c.runOrder = nil
+	c.mets = make(map[cacheKey]sweep.Metrics)
+	c.metOrder = nil
+}
+
+func (c *resultCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Results: len(c.runs), Metrics: len(c.mets)}
+}
+
+// clone returns an independent copy of the result: the per-rank slice is
+// fresh so callers may mutate theirs, while the immutable finished trace
+// is shared (its writers only read once Finish has run).
+func (r *Result) clone() *Result {
+	out := *r
+	out.Ranks = append([]RankSummary(nil), r.Ranks...)
+	return &out
+}

@@ -34,7 +34,16 @@
 //	mtbalance sweep -chips 2                # pairs packed vs spread across L2s
 //	mtbalance sweep -space os -objective weighted:1,0.5 -format csv
 //
-// Run `mtbalance run -h` / `mtbalance sweep -h` for the full flag lists.
+// The serve subcommand exposes the simulator as an HTTP JSON API — one
+// shared Machine, its result cache answering repeated configurations
+// from memory:
+//
+//	mtbalance serve -addr localhost:8080
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/run -d @job.json
+//
+// Run `mtbalance run -h` / `mtbalance sweep -h` / `mtbalance serve -h`
+// for the full flag lists.
 package main
 
 import (
@@ -52,6 +61,9 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "run" {
 		os.Exit(runRun(os.Args[2:]))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		os.Exit(runServe(os.Args[2:]))
 	}
 	var (
 		experiment = flag.String("experiment", "all", "which experiment to run (table2, table3, table4, table5, table6, figure1, kernelpatch, dynamic, extrinsic, scaling, all)")

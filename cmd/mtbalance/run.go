@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -136,7 +137,12 @@ func runRun(args []string) int {
 		}
 	}
 
-	res, err := smtbalance.Run(job, pl, &smtbalance.Options{Topology: topo})
+	m, err := smtbalance.NewMachine(&smtbalance.Options{Topology: topo})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	res, err := m.Run(context.Background(), job, pl)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1

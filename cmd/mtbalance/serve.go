@@ -1,0 +1,105 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	smtbalance "repro"
+	"repro/internal/serve"
+)
+
+// serveUsage documents the serve subcommand.
+const serveUsage = `usage: mtbalance serve [flags]
+
+Serve the simulator over an HTTP JSON API.  One Machine (topology +
+result cache) is shared across all requests, so identical
+configurations are answered from memory.  Endpoints:
+
+    GET  /healthz    liveness, topology, cache statistics
+    POST /v1/run     run one job/placement
+    POST /v1/sweep   rank a configuration space (NDJSON stream)
+
+Example:
+
+    mtbalance serve -addr localhost:8080 &
+    curl -s localhost:8080/healthz
+    curl -s -X POST localhost:8080/v1/run -d '{"job": {"ranks": [
+      [{"compute": {"kind": "fpu", "n": 50000}}, {"barrier": true}],
+      [{"compute": {"kind": "fpu", "n": 220000}}, {"barrier": true}],
+      [{"compute": {"kind": "fpu", "n": 50000}}, {"barrier": true}],
+      [{"compute": {"kind": "fpu", "n": 220000}}, {"barrier": true}]
+    ]}}'
+
+`
+
+// runServe implements `mtbalance serve`.
+func runServe(args []string) int {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	topoOf := topologyFlags(fs)
+	var (
+		addr     = fs.String("addr", "localhost:8080", "listen address")
+		timeout  = fs.Duration("timeout", 120*time.Second, "per-request simulation budget")
+		workers  = fs.Int("workers", 0, "sweep worker-pool size (0 = one per CPU)")
+		maxN     = fs.Int64("max-compute-n", 10_000_000, "largest accepted compute phase, in instructions")
+		maxRanks = fs.Int("max-ranks", 64, "largest accepted job, in ranks")
+	)
+	fs.Usage = func() {
+		fmt.Fprint(os.Stderr, serveUsage)
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+
+	topo, err := topoOf()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	m, err := smtbalance.NewMachine(&smtbalance.Options{Topology: topo})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	handler := serve.NewHandler(m, serve.Config{
+		Timeout:      *timeout,
+		SweepWorkers: *workers,
+		MaxComputeN:  *maxN,
+		MaxRanks:     *maxRanks,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	srv := &http.Server{Handler: handler, ReadHeaderTimeout: 10 * time.Second}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	fmt.Printf("mtbalance serve: listening on http://%s (topology %s)\n", ln.Addr(), topo)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Println("mtbalance serve: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	return 0
+}

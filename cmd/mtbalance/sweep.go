@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -37,6 +38,7 @@ func runSweep(args []string) int {
 		iters     = fs.Int("iters", 2, "compute+barrier iterations per rank")
 		scale     = fs.Float64("scale", 1.0, "workload scale factor")
 		format    = fs.String("format", "table", "output format: table or csv")
+		progress  = fs.Bool("progress", false, "report evaluation progress on stderr")
 	)
 	fs.Usage = func() {
 		fmt.Fprint(os.Stderr, sweepUsage)
@@ -82,13 +84,27 @@ func runSweep(args []string) int {
 		return 2
 	}
 
-	res, err := smtbalance.Sweep(job, sp, &smtbalance.SweepOptions{
-		Workers:   *workers,
-		Top:       *top,
-		Objective: obj,
-		Run:       &smtbalance.Options{Topology: topo},
-	})
+	m, err := smtbalance.NewMachine(&smtbalance.Options{Topology: topo})
 	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	swOpts := &smtbalance.SweepOptions{Workers: *workers, Top: *top, Objective: obj}
+	if *progress {
+		swOpts.Progress = func(evaluated, total int) {
+			if evaluated%50 == 0 || evaluated == total {
+				fmt.Fprintf(os.Stderr, "\rsweep: %d/%d configurations", evaluated, total)
+				if evaluated == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		}
+	}
+	res, err := m.SweepAll(context.Background(), job, sp, swOpts)
+	if err != nil {
+		if *progress {
+			fmt.Fprintln(os.Stderr) // terminate the \r progress line
+		}
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}

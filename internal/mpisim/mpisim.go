@@ -15,6 +15,7 @@
 package mpisim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/hwpri"
@@ -264,6 +265,18 @@ func spinLoad(id int) workload.Load {
 
 // Run executes the job under the placement and configuration.
 func Run(job *Job, pl Placement, cfg Config) (*Result, error) {
+	return RunCtx(context.Background(), job, pl, cfg)
+}
+
+// RunCtx is Run with cancellation: the simulator checks ctx between
+// scheduling quanta — at least once per million simulated cycles — so a
+// hung or long run aborts promptly when the context is cancelled.  The
+// returned error wraps ctx.Err() (test with errors.Is).  A nil ctx means
+// context.Background().
+func RunCtx(ctx context.Context, job *Job, pl Placement, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := len(job.Ranks)
 	if n == 0 {
 		return nil, fmt.Errorf("mpisim: job %q has no ranks", job.Name)
@@ -360,6 +373,11 @@ func Run(job *Job, pl Placement, cfg Config) (*Result, error) {
 	}
 
 	for rt.remaining > 0 && rt.mach.Cycle() < rt.cfg.MaxCycles {
+		// The per-iteration target below is capped at one million cycles,
+		// so this check bounds the cancellation latency to one quantum.
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("mpisim: job %q cancelled at cycle %d: %w", job.Name, rt.mach.Cycle(), err)
+		}
 		target := rt.cfg.MaxCycles
 		if w := rt.nextWake(); w >= 0 && w < target {
 			target = w

@@ -1,8 +1,11 @@
 package mpisim
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/hwpri"
 	"repro/internal/oskernel"
@@ -453,5 +456,41 @@ func TestTopologyCommLatency(t *testing.T) {
 		if got, want := one(c[0], c[1], 256), DefaultCommLatency(c[0], c[1], 256); got != want {
 			t.Errorf("1-chip latency(%d,%d) = %d, want DefaultCommLatency %d", c[0], c[1], got, want)
 		}
+	}
+}
+
+func TestRunCtxCancellation(t *testing.T) {
+	job := &Job{Name: "cancel"}
+	for r := 0; r < 4; r++ {
+		job.Ranks = append(job.Ranks, Program{
+			Compute(workload.Load{Kind: workload.FPU, N: 1 << 40}), // effectively endless
+			Barrier(),
+		})
+	}
+	pl := DefaultPlacement(4)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunCtx(ctx, job, pl, Config{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled RunCtx returned %v, want context.Canceled", err)
+	}
+
+	// Cancel mid-run: the loop must notice within one scheduling quantum
+	// instead of simulating the full 2^40-instruction job.
+	ctx, cancel = context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunCtx(ctx, job, pl, Config{})
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("mid-run cancel returned %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled run did not return within 30s")
 	}
 }

@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	smtbalance "repro"
+)
+
+// FuzzServeRun throws arbitrary bodies at the POST /v1/run handler: the
+// handler must never panic, must answer with a sane status, and a 200
+// must carry a well-formed RunResponse.  Tight limits keep accepted
+// fuzz inputs cheap to simulate.
+func FuzzServeRun(f *testing.F) {
+	m, err := smtbalance.NewMachine(nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	handler := NewHandler(m, Config{
+		MaxBodyBytes: 1 << 16,
+		MaxRanks:     4,
+		MaxPhases:    8,
+		MaxComputeN:  20_000,
+		Timeout:      5 * time.Second,
+	})
+
+	for _, seed := range []string{
+		``,
+		`{}`,
+		`{{{`,
+		`null`,
+		`[1,2,3]`,
+		`{"job": {"ranks": [[{"compute": {"kind": "fpu", "n": 2000}}, {"barrier": true}]]}}`,
+		`{"job": {"ranks": [
+		  [{"compute": {"kind": "fpu", "n": 1000}}, {"barrier": true}],
+		  [{"compute": {"kind": "l1", "n": 4000}}, {"barrier": true}],
+		  [{"compute": {"kind": "fpu", "n": 1000}}, {"barrier": true}],
+		  [{"compute": {"kind": "mem", "n": 4000}}, {"barrier": true}]
+		]}, "placement": {"cpus": [0, 1, 2, 3], "priorities": [4, 6, 4, 6]}}`,
+		`{"job": {"ranks": [[{"exchange": {"bytes": 64, "peers": [1]}}], [{"exchange": {"bytes": 64, "peers": [0]}}]]}}`,
+		`{"job": {"ranks": [[{"barrier": true}]]}, "pin": "0.0.0@4"}`,
+		`{"job": {"ranks": [[{"barier": true}]]}}`,
+		`{"job": {"ranks": [[{"compute": {"kind": "gpu", "n": 10}}]]}}`,
+		`{"job": {"ranks": [[{"compute": {"kind": "fpu", "n": -5}}]]}}`,
+		`{"job": {"ranks": [[{"compute": {"kind": "fpu", "n": 9999999999999}}]]}}`,
+		`{"job": {"ranks": [[{"compute": {"kind": "fpu", "n": 100, "footprint": -1}}]]}}`,
+		`{"job": {"name": "x", "ranks": [[{"barrier": true, "compute": {"kind": "fpu", "n": 1}}]]}}`,
+		`{"job": {"ranks": [[{"exchange": {"bytes": -1, "peers": [0]}}]]}}`,
+		`{"job": {"ranks": [[{"barrier": true}]]}, "placement": {"cpus": [7], "priorities": [4]}}`,
+		`{"job": {"ranks": [[{"barrier": true}]]}, "pin": "9.9.9@9"}`,
+		`{"job": {"ranks": [[{"barrier": true}]]}} trailing`,
+	} {
+		f.Add([]byte(seed))
+	}
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/run", strings.NewReader(string(body)))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req) // must not panic
+
+		switch rec.Code {
+		case http.StatusOK:
+			var out RunResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+				t.Fatalf("200 with undecodable body: %v\n%s", err, rec.Body.Bytes())
+			}
+			// A trivial job (barriers only) can finish in 0 cycles.
+			if out.Cycles < 0 || len(out.Ranks) == 0 {
+				t.Fatalf("200 with empty result: %+v", out)
+			}
+		case http.StatusBadRequest, http.StatusRequestEntityTooLarge, http.StatusGatewayTimeout:
+			var e errorJSON
+			if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
+				t.Fatalf("%d without an error body: %s", rec.Code, rec.Body.Bytes())
+			}
+		default:
+			t.Fatalf("unexpected status %d: %s", rec.Code, rec.Body.Bytes())
+		}
+	})
+}

@@ -1,0 +1,495 @@
+// Package serve exposes one shared smtbalance.Machine over an HTTP JSON
+// API — the first serving surface toward the roadmap's production-scale
+// system.  All requests share the Machine's deterministic result cache,
+// so identical configurations submitted by different clients are served
+// from memory, and every simulation runs under the request context, so a
+// disconnected client cancels its run instead of leaking simulator time.
+//
+// Endpoints:
+//
+//	GET  /healthz   liveness + topology + cache statistics
+//	POST /v1/run    run one job/placement, JSON in, JSON out
+//	POST /v1/sweep  rank a configuration space, streamed as NDJSON
+//	                (one ranked entry per chunk, best first, then a
+//	                terminal {"done":true,...} record)
+//
+// The wire schema is deliberately strict: unknown fields are rejected so
+// that a typo ("barier") fails loudly instead of simulating the wrong
+// job.
+//
+// Memory: cached run results keep their full trace, so the server's
+// resident set is bounded by the Machine's entry-capped cache times the
+// largest accepted job — Config.MaxRanks and Config.MaxPhases bound the
+// per-entry trace size, and Machine.ClearCache releases everything if an
+// operator needs to shed memory without restarting.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	smtbalance "repro"
+)
+
+// Config bounds what one request may ask of the shared machine.  The
+// zero value of each field selects the default; the defaults keep a
+// public endpoint from being wedged by one huge request.
+type Config struct {
+	// MaxBodyBytes caps a request body (default 1 MiB).
+	MaxBodyBytes int64
+	// MaxRanks caps a job's rank count (default 64; the topology's
+	// context count caps it further anyway).
+	MaxRanks int
+	// MaxPhases caps one rank's phase count (default 256).
+	MaxPhases int
+	// MaxComputeN caps one compute phase's instruction count (default
+	// 10M — about the scale of the paper's reduced workloads).
+	MaxComputeN int64
+	// Timeout bounds one request's simulation wall time (default 120s);
+	// it is enforced through the Machine's context cancellation.
+	Timeout time.Duration
+	// SweepWorkers is the worker-pool size for sweep requests (default
+	// 0 = one per CPU).
+	SweepWorkers int
+}
+
+// withDefaults substitutes the default for any unset limit.  Zero and
+// negative values both select the default: a negative limit (an
+// operator typo like `-timeout -1s`) would otherwise silently reject or
+// time out every request.
+func (c Config) withDefaults() Config {
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxRanks <= 0 {
+		c.MaxRanks = 64
+	}
+	if c.MaxPhases <= 0 {
+		c.MaxPhases = 256
+	}
+	if c.MaxComputeN <= 0 {
+		c.MaxComputeN = 10_000_000
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 120 * time.Second
+	}
+	return c
+}
+
+// Compute is a compute phase on the wire.
+type Compute struct {
+	// Kind names the kernel (fpu, fxu, l1, l2, mem, branchy, mixed).
+	Kind string `json:"kind"`
+	// N is the instruction count.
+	N int64 `json:"n"`
+	// Footprint optionally overrides the kind's data footprint in bytes.
+	Footprint int64 `json:"footprint,omitempty"`
+}
+
+// Exchange is a neighbour-exchange phase on the wire.
+type Exchange struct {
+	Bytes int64 `json:"bytes"`
+	Peers []int `json:"peers"`
+}
+
+// Phase is one program step; exactly one of the three fields is set.
+type Phase struct {
+	Compute  *Compute  `json:"compute,omitempty"`
+	Barrier  bool      `json:"barrier,omitempty"`
+	Exchange *Exchange `json:"exchange,omitempty"`
+}
+
+// Job is an MPI-style job on the wire.
+type Job struct {
+	Name  string    `json:"name,omitempty"`
+	Ranks [][]Phase `json:"ranks"`
+}
+
+// Placement pins ranks explicitly; omitted in RunRequest it defaults to
+// pin-in-order at medium priority (the paper's Case A).
+type Placement struct {
+	CPUs       []int `json:"cpus"`
+	Priorities []int `json:"priorities"`
+}
+
+// RunRequest is the POST /v1/run body.
+type RunRequest struct {
+	Job Job `json:"job"`
+	// Placement pins ranks by logical CPU; Pin pins them by
+	// "chip.core.context[@prio]" triples.  At most one may be set.
+	Placement *Placement `json:"placement,omitempty"`
+	Pin       string     `json:"pin,omitempty"`
+}
+
+// RankResult is one rank's outcome on the wire.
+type RankResult struct {
+	CPU          int     `json:"cpu"`
+	Core         int     `json:"core"`
+	Chip         int     `json:"chip"`
+	Priority     int     `json:"priority"`
+	ComputePct   float64 `json:"compute_pct"`
+	SyncPct      float64 `json:"sync_pct"`
+	CommPct      float64 `json:"comm_pct"`
+	Instructions int64   `json:"instructions"`
+}
+
+// RunResponse is the POST /v1/run reply.
+type RunResponse struct {
+	Seconds      float64      `json:"seconds"`
+	Cycles       int64        `json:"cycles"`
+	ImbalancePct float64      `json:"imbalance_pct"`
+	Iterations   int          `json:"iterations"`
+	Ranks        []RankResult `json:"ranks"`
+}
+
+// SweepSpace selects the search space on the wire.
+type SweepSpace struct {
+	// Alphabet is "user" (priorities 2-4, the default) or "os" (2-6).
+	// Priorities, if set, overrides it with an explicit list.
+	Alphabet   string `json:"alphabet,omitempty"`
+	Priorities []int  `json:"priorities,omitempty"`
+	FixPairing bool   `json:"fix_pairing,omitempty"`
+}
+
+// SweepObjective weights the ranking objective; the zero value minimizes
+// execution time.
+type SweepObjective struct {
+	CyclesWeight    float64 `json:"cycles_weight,omitempty"`
+	ImbalanceWeight float64 `json:"imbalance_weight,omitempty"`
+}
+
+// SweepRequest is the POST /v1/sweep body.
+type SweepRequest struct {
+	Job       Job            `json:"job"`
+	Space     SweepSpace     `json:"space"`
+	Top       int            `json:"top,omitempty"`
+	Objective SweepObjective `json:"objective"`
+}
+
+// SweepEntryJSON is one ranked configuration, one NDJSON chunk of the
+// sweep stream.
+type SweepEntryJSON struct {
+	Rank         int     `json:"rank"`
+	CPUs         []int   `json:"cpus"`
+	Priorities   []int   `json:"priorities"`
+	Cycles       int64   `json:"cycles"`
+	Seconds      float64 `json:"seconds"`
+	ImbalancePct float64 `json:"imbalance_pct"`
+	Score        float64 `json:"score"`
+}
+
+// SweepDone is the terminal NDJSON chunk of a sweep stream.
+type SweepDone struct {
+	Done      bool `json:"done"`
+	Evaluated int  `json:"evaluated"`
+	Returned  int  `json:"returned"`
+}
+
+// Health is the GET /healthz reply.
+type Health struct {
+	Status   string                `json:"status"`
+	Topology string                `json:"topology"`
+	Contexts int                   `json:"contexts"`
+	Cache    smtbalance.CacheStats `json:"cache"`
+}
+
+// errorJSON is every error reply's shape.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+type server struct {
+	m   *smtbalance.Machine
+	cfg Config
+}
+
+// NewHandler serves the API on one shared Machine.
+func NewHandler(m *smtbalance.Machine, cfg Config) http.Handler {
+	s := &server{m: m, cfg: cfg.withDefaults()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.healthz)
+	mux.HandleFunc("POST /v1/run", s.run)
+	mux.HandleFunc("POST /v1/sweep", s.sweep)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v) // the connection is the only failure mode here
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorJSON{Error: fmt.Sprintf(format, args...)})
+}
+
+// decode reads and strictly parses a JSON body into v.
+func (s *server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", tooLarge.Limit)
+		} else {
+			writeError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		}
+		return false
+	}
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, "trailing data after JSON body")
+		return false
+	}
+	return true
+}
+
+// buildJob validates the wire job against the config limits and converts
+// it.  All errors are client errors.
+func (s *server) buildJob(j Job) (smtbalance.Job, error) {
+	if len(j.Ranks) == 0 {
+		return smtbalance.Job{}, fmt.Errorf("job has no ranks")
+	}
+	if len(j.Ranks) > s.cfg.MaxRanks {
+		return smtbalance.Job{}, fmt.Errorf("job has %d ranks; this server accepts at most %d", len(j.Ranks), s.cfg.MaxRanks)
+	}
+	name := j.Name
+	if name == "" {
+		name = "serve"
+	}
+	out := smtbalance.Job{Name: name}
+	for r, prog := range j.Ranks {
+		if len(prog) == 0 {
+			return smtbalance.Job{}, fmt.Errorf("rank %d has no phases", r)
+		}
+		if len(prog) > s.cfg.MaxPhases {
+			return smtbalance.Job{}, fmt.Errorf("rank %d has %d phases; this server accepts at most %d", r, len(prog), s.cfg.MaxPhases)
+		}
+		var phases []smtbalance.Phase
+		for i, ph := range prog {
+			set := 0
+			if ph.Compute != nil {
+				set++
+			}
+			if ph.Barrier {
+				set++
+			}
+			if ph.Exchange != nil {
+				set++
+			}
+			if set != 1 {
+				return smtbalance.Job{}, fmt.Errorf("rank %d phase %d: exactly one of compute, barrier, exchange must be set", r, i)
+			}
+			switch {
+			case ph.Compute != nil:
+				c := ph.Compute
+				if err := smtbalance.ParseKind(c.Kind); err != nil {
+					return smtbalance.Job{}, fmt.Errorf("rank %d phase %d: %v", r, i, err)
+				}
+				if c.N <= 0 || c.N > s.cfg.MaxComputeN {
+					return smtbalance.Job{}, fmt.Errorf("rank %d phase %d: compute n must be in 1..%d, got %d", r, i, s.cfg.MaxComputeN, c.N)
+				}
+				if c.Footprint < 0 {
+					return smtbalance.Job{}, fmt.Errorf("rank %d phase %d: negative footprint", r, i)
+				}
+				phases = append(phases, smtbalance.ComputeSized(c.Kind, c.N, c.Footprint))
+			case ph.Barrier:
+				phases = append(phases, smtbalance.Barrier())
+			default:
+				e := ph.Exchange
+				if e.Bytes < 0 {
+					return smtbalance.Job{}, fmt.Errorf("rank %d phase %d: negative exchange bytes", r, i)
+				}
+				for _, p := range e.Peers {
+					if p < 0 || p >= len(j.Ranks) {
+						return smtbalance.Job{}, fmt.Errorf("rank %d phase %d: exchange peer %d outside 0..%d", r, i, p, len(j.Ranks)-1)
+					}
+				}
+				phases = append(phases, smtbalance.Exchange(e.Bytes, e.Peers...))
+			}
+		}
+		out.Ranks = append(out.Ranks, phases)
+	}
+	return out, nil
+}
+
+// buildPlacement resolves a request's placement choice.
+func (s *server) buildPlacement(req RunRequest, ranks int) (smtbalance.Placement, error) {
+	topo := s.m.Topology()
+	switch {
+	case req.Placement != nil && req.Pin != "":
+		return smtbalance.Placement{}, fmt.Errorf("placement and pin are mutually exclusive")
+	case req.Pin != "":
+		pl, err := smtbalance.ParsePlacement(topo, req.Pin)
+		if err != nil {
+			return smtbalance.Placement{}, err
+		}
+		if len(pl.CPU) != ranks {
+			return smtbalance.Placement{}, fmt.Errorf("pin places %d ranks but the job has %d", len(pl.CPU), ranks)
+		}
+		return pl, nil
+	case req.Placement != nil:
+		p := req.Placement
+		if len(p.CPUs) != ranks || len(p.Priorities) != ranks {
+			return smtbalance.Placement{}, fmt.Errorf("placement maps %d CPUs and %d priorities for a %d-rank job",
+				len(p.CPUs), len(p.Priorities), ranks)
+		}
+		pl := smtbalance.Placement{CPU: p.CPUs}
+		for _, pr := range p.Priorities {
+			prio := smtbalance.Priority(pr)
+			if !prio.Valid() {
+				return smtbalance.Placement{}, fmt.Errorf("priority %d outside 0..7", pr)
+			}
+			pl.Priority = append(pl.Priority, prio)
+		}
+		return pl, nil
+	default:
+		return topo.PinInOrder(ranks)
+	}
+}
+
+func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
+	topo := s.m.Topology()
+	writeJSON(w, http.StatusOK, Health{
+		Status:   "ok",
+		Topology: topo.String(),
+		Contexts: topo.Contexts(),
+		Cache:    s.m.CacheStats(),
+	})
+}
+
+func (s *server) run(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	job, err := s.buildJob(req.Job)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	pl, err := s.buildPlacement(req, len(job.Ranks))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	defer cancel()
+	res, err := s.m.Run(ctx, job, pl)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			writeError(w, http.StatusGatewayTimeout, "run exceeded the server's %s budget", s.cfg.Timeout)
+		case r.Context().Err() != nil:
+			// Client went away; nothing useful to write.
+		default:
+			writeError(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	out := RunResponse{
+		Seconds:      res.Seconds,
+		Cycles:       res.Cycles,
+		ImbalancePct: res.ImbalancePct,
+		Iterations:   res.Iterations,
+	}
+	for _, rr := range res.Ranks {
+		out.Ranks = append(out.Ranks, RankResult{
+			CPU: rr.CPU, Core: rr.Core, Chip: rr.Chip, Priority: int(rr.Priority),
+			ComputePct: rr.ComputePct, SyncPct: rr.SyncPct, CommPct: rr.CommPct,
+			Instructions: rr.Instructions,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) sweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	job, err := s.buildJob(req.Job)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var space smtbalance.Space
+	switch req.Space.Alphabet {
+	case "", "user":
+		space = smtbalance.UserSettableSpace()
+	case "os":
+		space = smtbalance.OSSettableSpace()
+	default:
+		writeError(w, http.StatusBadRequest, "unknown space alphabet %q (want user or os)", req.Space.Alphabet)
+		return
+	}
+	if len(req.Space.Priorities) > 0 {
+		space.Priorities = nil
+		for _, p := range req.Space.Priorities {
+			space.Priorities = append(space.Priorities, smtbalance.Priority(p))
+		}
+	}
+	space.FixPairing = req.Space.FixPairing
+	if req.Top < 0 {
+		writeError(w, http.StatusBadRequest, "top must be >= 0, got %d", req.Top)
+		return
+	}
+	// The zero-valued objective already means "minimize cycles".
+	obj := smtbalance.WeightedObjective(req.Objective.CyclesWeight, req.Objective.ImbalanceWeight)
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	defer cancel()
+	res, err := s.m.SweepAll(ctx, job, space, &smtbalance.SweepOptions{
+		Workers:   s.cfg.SweepWorkers,
+		Top:       req.Top,
+		Objective: obj,
+	})
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			writeError(w, http.StatusGatewayTimeout, "sweep exceeded the server's %s budget", s.cfg.Timeout)
+		case r.Context().Err() != nil:
+			// Client went away.
+		default:
+			writeError(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+
+	// Stream the ranking as NDJSON chunks, best first, flushing per
+	// entry so large rankings arrive incrementally.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	for i, e := range res.Entries {
+		entry := SweepEntryJSON{
+			Rank:         i + 1,
+			CPUs:         e.Placement.CPU,
+			Cycles:       e.Cycles,
+			Seconds:      e.Seconds,
+			ImbalancePct: e.ImbalancePct,
+			Score:        e.Score,
+		}
+		for _, p := range e.Placement.Priority {
+			entry.Priorities = append(entry.Priorities, int(p))
+		}
+		if err := enc.Encode(entry); err != nil {
+			return // client gone mid-stream
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	_ = enc.Encode(SweepDone{Done: true, Evaluated: res.Evaluated, Returned: len(res.Entries)})
+	if flusher != nil {
+		flusher.Flush()
+	}
+}

@@ -1,0 +1,257 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	smtbalance "repro"
+)
+
+// newTestServer builds a handler over a fresh default machine with
+// test-friendly limits.
+func newTestServer(t *testing.T, cfg Config) *httptest.Server {
+	t.Helper()
+	m, err := smtbalance.NewMachine(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewHandler(m, cfg))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// runBody is a valid 4-rank imbalanced run request.
+const runBody = `{
+  "job": {"name": "demo", "ranks": [
+    [{"compute": {"kind": "fpu", "n": 3000}}, {"barrier": true}],
+    [{"compute": {"kind": "fpu", "n": 12000}}, {"barrier": true}],
+    [{"compute": {"kind": "fpu", "n": 3000}}, {"barrier": true}],
+    [{"compute": {"kind": "fpu", "n": 12000}}, {"barrier": true}]
+  ]}
+}`
+
+func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func TestHealthz(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz returned %d", resp.StatusCode)
+	}
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Topology != "1x2x2" || h.Contexts != 4 {
+		t.Errorf("healthz = %+v", h)
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	resp, data := postJSON(t, ts.URL+"/v1/run", runBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run returned %d: %s", resp.StatusCode, data)
+	}
+	var out RunResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("bad run response: %v\n%s", err, data)
+	}
+	if out.Cycles <= 0 || out.Seconds <= 0 || len(out.Ranks) != 4 {
+		t.Errorf("run response shape wrong: %+v", out)
+	}
+	// The default placement is pin-in-order at medium priority.
+	for i, r := range out.Ranks {
+		if r.CPU != i || r.Priority != int(smtbalance.PriorityMedium) {
+			t.Errorf("rank %d on CPU %d prio %d, want pin-in-order at medium", i, r.CPU, r.Priority)
+		}
+	}
+
+	// An identical request must be a cache hit on the shared machine.
+	resp2, data2 := postJSON(t, ts.URL+"/v1/run", runBody)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second run returned %d", resp2.StatusCode)
+	}
+	if string(data) != string(data2) {
+		t.Error("identical requests returned different bodies")
+	}
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h Health
+	if err := json.NewDecoder(hresp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if h.Cache.Hits < 1 {
+		t.Errorf("second identical run did not hit the cache: %+v", h.Cache)
+	}
+}
+
+func TestRunExplicitPlacementAndPin(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	placed := strings.Replace(runBody, `]}
+}`, `]},
+  "placement": {"cpus": [0, 1, 2, 3], "priorities": [4, 6, 4, 6]}
+}`, 1)
+	resp, data := postJSON(t, ts.URL+"/v1/run", placed)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("placed run returned %d: %s", resp.StatusCode, data)
+	}
+	var out RunResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Ranks[1].Priority != 6 {
+		t.Errorf("explicit priorities ignored: %+v", out.Ranks)
+	}
+
+	pinned := strings.Replace(runBody, `]}
+}`, `]},
+  "pin": "0.0.0@4,0.0.1@6,0.1.0@4,0.1.1@6"
+}`, 1)
+	resp, data = postJSON(t, ts.URL+"/v1/run", pinned)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pinned run returned %d: %s", resp.StatusCode, data)
+	}
+}
+
+func TestRunRejectsBadRequests(t *testing.T) {
+	ts := newTestServer(t, Config{MaxComputeN: 100_000})
+	cases := []struct {
+		name, body string
+		status     int
+	}{
+		{"empty", ``, http.StatusBadRequest},
+		{"not json", `{{{`, http.StatusBadRequest},
+		{"no ranks", `{"job": {"ranks": []}}`, http.StatusBadRequest},
+		{"unknown field", `{"job": {"ranks": [[{"barier": true}]]}}`, http.StatusBadRequest},
+		{"unknown kind", `{"job": {"ranks": [[{"compute": {"kind": "gpu", "n": 10}}]]}}`, http.StatusBadRequest},
+		{"zero n", `{"job": {"ranks": [[{"compute": {"kind": "fpu", "n": 0}}]]}}`, http.StatusBadRequest},
+		{"huge n", `{"job": {"ranks": [[{"compute": {"kind": "fpu", "n": 99999999999}}]]}}`, http.StatusBadRequest},
+		{"two discriminators", `{"job": {"ranks": [[{"barrier": true, "compute": {"kind": "fpu", "n": 10}}]]}}`, http.StatusBadRequest},
+		{"bad peer", `{"job": {"ranks": [[{"exchange": {"bytes": 10, "peers": [9]}}]]}}`, http.StatusBadRequest},
+		{"too many ranks", `{"job": {"ranks": [` + strings.Repeat(`[{"barrier": true}],`, 64) + `[{"barrier": true}]]}}`, http.StatusBadRequest},
+		{"pin and placement", `{"job": {"ranks": [[{"barrier": true}]]}, "pin": "0.0.0", "placement": {"cpus": [0], "priorities": [4]}}`, http.StatusBadRequest},
+		{"bad priority", `{"job": {"ranks": [[{"barrier": true}]]}, "placement": {"cpus": [0], "priorities": [9]}}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, data := postJSON(t, ts.URL+"/v1/run", tc.body)
+			if resp.StatusCode != tc.status {
+				t.Errorf("%s: status %d, want %d (%s)", tc.name, resp.StatusCode, tc.status, data)
+			}
+			var e errorJSON
+			if err := json.Unmarshal(data, &e); err != nil || e.Error == "" {
+				t.Errorf("%s: error body not {\"error\": ...}: %s", tc.name, data)
+			}
+		})
+	}
+	// Method checks come from the mux.
+	resp, err := http.Get(ts.URL + "/v1/run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/run returned %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestRunTimeout(t *testing.T) {
+	ts := newTestServer(t, Config{Timeout: 50 * time.Millisecond})
+	huge := `{"job": {"ranks": [
+		[{"compute": {"kind": "fpu", "n": 10000000}}, {"barrier": true}],
+		[{"compute": {"kind": "fpu", "n": 10000000}}, {"barrier": true}],
+		[{"compute": {"kind": "fpu", "n": 10000000}}, {"barrier": true}],
+		[{"compute": {"kind": "fpu", "n": 10000000}}, {"barrier": true}]
+	]}}`
+	resp, data := postJSON(t, ts.URL+"/v1/run", huge)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("over-budget run returned %d: %s", resp.StatusCode, data)
+	}
+}
+
+func TestSweepStreamsNDJSON(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	body := `{
+	  "job": {"ranks": [
+	    [{"compute": {"kind": "fpu", "n": 2000}}, {"barrier": true}],
+	    [{"compute": {"kind": "fpu", "n": 8000}}, {"barrier": true}],
+	    [{"compute": {"kind": "fpu", "n": 2000}}, {"barrier": true}],
+	    [{"compute": {"kind": "fpu", "n": 8000}}, {"barrier": true}]
+	  ]},
+	  "space": {"fix_pairing": true, "priorities": [4, 6]},
+	  "top": 5
+	}`
+	resp, data := postJSON(t, ts.URL+"/v1/sweep", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep returned %d: %s", resp.StatusCode, data)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("sweep Content-Type = %q", ct)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 6 { // 5 entries + done record
+		t.Fatalf("sweep streamed %d lines, want 6:\n%s", len(lines), data)
+	}
+	prev := -1.0
+	for i, ln := range lines[:5] {
+		var e SweepEntryJSON
+		if err := json.Unmarshal([]byte(ln), &e); err != nil {
+			t.Fatalf("line %d not an entry: %v\n%s", i, err, ln)
+		}
+		if e.Rank != i+1 || len(e.CPUs) != 4 || len(e.Priorities) != 4 {
+			t.Errorf("entry %d shape wrong: %+v", i, e)
+		}
+		if e.Score < prev {
+			t.Errorf("entries not ranked: score %f after %f", e.Score, prev)
+		}
+		prev = e.Score
+	}
+	var done SweepDone
+	if err := json.Unmarshal([]byte(lines[5]), &done); err != nil {
+		t.Fatal(err)
+	}
+	if !done.Done || done.Evaluated != 16 || done.Returned != 5 {
+		t.Errorf("done record = %+v, want evaluated 16, returned 5", done)
+	}
+}
+
+func TestSweepRejectsBadSpace(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	resp, data := postJSON(t, ts.URL+"/v1/sweep",
+		`{"job": {"ranks": [[{"barrier": true}], [{"barrier": true}]]}, "space": {"alphabet": "root"}}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad alphabet returned %d: %s", resp.StatusCode, data)
+	}
+	// Odd rank counts must be rejected up front with the descriptive
+	// validation error, not a deep enumerator failure.
+	resp, data = postJSON(t, ts.URL+"/v1/sweep",
+		`{"job": {"ranks": [[{"barrier": true}]]}}`)
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(data), "even rank count") {
+		t.Errorf("odd-rank sweep returned %d: %s", resp.StatusCode, data)
+	}
+}

@@ -33,6 +33,7 @@
 package sweep
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -61,15 +62,30 @@ func PoolSize(n, workers int) int {
 // A panic in any fn is re-raised on the caller's goroutine after all
 // workers have drained.
 func ForEach(n, workers int, fn func(i int)) {
+	ForEachCtx(context.Background(), n, workers, fn)
+}
+
+// ForEachCtx is ForEach with cancellation: once ctx is done, no new
+// index is claimed (in-flight fn calls finish — pass ctx into fn's own
+// work for prompt aborts) and ctx.Err() is returned.  Indices past the
+// cancellation point are simply never run; callers must treat their
+// slots as absent.  A nil ctx means context.Background().
+func ForEachCtx(ctx context.Context, n, workers int, fn func(i int)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if n <= 0 {
-		return
+		return ctx.Err()
 	}
 	workers = PoolSize(n, workers)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(i)
 		}
-		return
+		return ctx.Err()
 	}
 	var (
 		next    atomic.Int64
@@ -82,6 +98,9 @@ func ForEach(n, workers int, fn func(i int)) {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -111,6 +130,7 @@ func ForEach(n, workers int, fn func(i int)) {
 	if panicV != nil {
 		panic(panicV)
 	}
+	return ctx.Err()
 }
 
 // Map runs fn over [0, n) through ForEach and returns the results in

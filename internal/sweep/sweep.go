@@ -1,9 +1,11 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/mpisim"
 )
@@ -22,6 +24,17 @@ type Options struct {
 	// hook must be nil: runs execute concurrently and a shared callback
 	// would race (per-run hooks belong to the caller's own Run calls).
 	Config mpisim.Config
+	// RunFn, if set, replaces the direct mpisim.RunCtx evaluation of
+	// each point — the hook caching layers use to serve repeated
+	// configurations from memory.  It must be safe for concurrent use
+	// and deterministic in its inputs, or the ranking loses its
+	// worker-count independence.
+	RunFn func(ctx context.Context, job *mpisim.Job, pl mpisim.Placement, cfg mpisim.Config) (Metrics, error)
+	// OnProgress, if set, is called after each completed evaluation
+	// with the number of points finished so far and the total.  Calls
+	// are serialized (one at a time), but their order follows run
+	// completion, not point order.
+	OnProgress func(done, total int)
 }
 
 // RunResult is one evaluated configuration.
@@ -73,6 +86,16 @@ func (r *Result) Best() (RunResult, error) {
 // a pre-allocated slot; aggregation then scores and sorts with a total
 // order.  The result is deterministic and independent of Options.Workers.
 func Sweep(job *mpisim.Job, points []Point, opt Options) (*Result, error) {
+	return SweepCtx(context.Background(), job, points, opt)
+}
+
+// SweepCtx is Sweep with cancellation: once ctx is done, no new point is
+// claimed, in-flight simulator runs abort at their next scheduling
+// quantum, and ctx.Err() is returned instead of a partial ranking.
+func SweepCtx(ctx context.Context, job *mpisim.Job, points []Point, opt Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(points) == 0 {
 		return nil, fmt.Errorf("sweep: empty configuration space")
 	}
@@ -80,17 +103,41 @@ func Sweep(job *mpisim.Job, points []Point, opt Options) (*Result, error) {
 		return nil, fmt.Errorf("sweep: Config.OnIteration is not supported in sweeps (runs are concurrent)")
 	}
 	obj := opt.Objective.normalize()
+	runFn := opt.RunFn
+	if runFn == nil {
+		runFn = func(ctx context.Context, job *mpisim.Job, pl mpisim.Placement, cfg mpisim.Config) (Metrics, error) {
+			res, err := mpisim.RunCtx(ctx, job, pl, cfg)
+			if err != nil {
+				return Metrics{}, err
+			}
+			return Metrics{Cycles: res.Cycles, Seconds: res.Seconds, ImbalancePct: res.Imbalance}, nil
+		}
+	}
+	var (
+		progressMu sync.Mutex
+		done       int
+	)
 
-	results := Map(len(points), opt.Workers, func(i int) RunResult {
+	results := make([]RunResult, len(points))
+	err := ForEachCtx(ctx, len(points), opt.Workers, func(i int) {
 		rr := RunResult{Index: i, Point: points[i]}
-		res, err := mpisim.Run(job, points[i].Placement(), opt.Config)
+		met, err := runFn(ctx, job, points[i].Placement(), opt.Config)
 		if err != nil {
 			rr.Err = err
-			return rr
+		} else {
+			rr.Metrics = met
 		}
-		rr.Metrics = Metrics{Cycles: res.Cycles, Seconds: res.Seconds, ImbalancePct: res.Imbalance}
-		return rr
+		results[i] = rr
+		if opt.OnProgress != nil {
+			progressMu.Lock()
+			done++
+			opt.OnProgress(done, len(points))
+			progressMu.Unlock()
+		}
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	out := &Result{Evaluated: len(results)}
 	for _, rr := range results { // still in index order here

@@ -1,0 +1,382 @@
+package smtbalance
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+	"sync"
+
+	"repro/internal/hwpri"
+	"repro/internal/mpisim"
+	"repro/internal/sweep"
+)
+
+// Machine is a reusable handle on one simulated machine and its
+// simulation environment: the paper's iterative profile → re-place →
+// re-prioritize workflow runs many configurations against the same
+// (topology, options) pair, and Machine is the object that owns that
+// pair.  It is safe for concurrent use — the simulator is pure, so
+// concurrent Run/Sweep/Optimize calls share nothing but the result
+// cache — and every method takes a context, cancelling promptly (the
+// simulator checks the context at least once per million simulated
+// cycles).
+//
+// Because the simulator is deterministic, the Machine memoizes results:
+// a canonical hash of (topology, options, job, placement) keys a bounded
+// in-memory cache, so repeated configurations — a sweep resumed under a
+// different objective, Optimize re-running its winner, identical service
+// requests — are served from memory.  CacheStats reports the hit rate.
+//
+// The package-level Run, Sweep and OptimizePlacement free functions are
+// deprecated thin wrappers over a shared default Machine.
+type Machine struct {
+	opts  Options
+	cache *resultCache
+}
+
+// NewMachine builds a Machine from the simulation options (nil means the
+// paper's environment: the default 1×2×2 topology, patched kernel, warm
+// caches).  The options are copied; later mutation of opts does not
+// affect the Machine.  Options.OnIteration, if set, disables result
+// caching for Run calls (the callback must observe every iteration), and
+// is rejected by Sweep as before.
+func NewMachine(opts *Options) (*Machine, error) {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	o.Topology = o.Topology.normalized()
+	if err := o.Topology.Validate(); err != nil {
+		return nil, fmt.Errorf("smtbalance: invalid Options.Topology: %w", err)
+	}
+	return &Machine{opts: o, cache: newResultCache()}, nil
+}
+
+// defaultMachine backs the deprecated package-level wrappers for calls
+// with default options, so their repeated configurations share one cache.
+var defaultMachine = sync.OnceValue(func() *Machine {
+	m, err := NewMachine(nil)
+	if err != nil {
+		panic(err)
+	}
+	return m
+})
+
+// machineFor resolves the wrapper-level *Options to a Machine: nil
+// options share the package's default Machine (and its cache); any
+// explicit options get a transient Machine of their own.  Only nil maps
+// to the shared machine — inspecting opts field-by-field would silently
+// misroute any Options field added later.
+func machineFor(opts *Options) (*Machine, error) {
+	if opts == nil {
+		return defaultMachine(), nil
+	}
+	return NewMachine(opts)
+}
+
+// Topology returns the machine's (normalized) topology.
+func (m *Machine) Topology() Topology { return m.opts.Topology }
+
+// Options returns a copy of the machine's simulation options.
+func (m *Machine) Options() Options { return m.opts }
+
+// CacheStats returns the machine's result-cache counters.
+func (m *Machine) CacheStats() CacheStats { return m.cache.stats() }
+
+// ClearCache drops every cached result and metric (the hit/miss
+// counters survive).  Long-lived services can call it to release the
+// memory held by cached traces; correctness never depends on the cache.
+func (m *Machine) ClearCache() { m.cache.clear() }
+
+// ctxErrOf maps a simulator error caused by ctx's cancellation back to
+// the bare ctx.Err(), so callers can compare against it directly.
+func ctxErrOf(ctx context.Context, err error) error {
+	if cerr := ctx.Err(); cerr != nil && errors.Is(err, cerr) {
+		return cerr
+	}
+	return err
+}
+
+// Run executes the job under the placement on this machine.  Identical
+// (job, placement) runs are served from the result cache unless
+// Options.OnIteration is set.  Cancelling ctx aborts the simulation
+// promptly with ctx.Err().
+func (m *Machine) Run(ctx context.Context, job Job, pl Placement) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := pl.validate(m.opts.Topology); err != nil {
+		return nil, err
+	}
+	cacheable := m.opts.OnIteration == nil
+	var key cacheKey
+	if cacheable {
+		key = placementKey(envJobKey(m.opts.Topology, m.opts, job), pl.CPU, prioInts(pl.Priority))
+		if res, ok := m.cache.getRun(key); ok {
+			return res, nil
+		}
+	}
+	res, err := runSim(ctx, job, pl, &m.opts)
+	if err != nil {
+		return nil, ctxErrOf(ctx, err)
+	}
+	if cacheable {
+		m.cache.putRun(key, res)
+	}
+	return res, nil
+}
+
+// prioInts converts a priority slice for hashing.
+func prioInts(ps []Priority) []int {
+	out := make([]int, len(ps))
+	for i, p := range ps {
+		out[i] = int(p)
+	}
+	return out
+}
+
+// validateSweepJob checks a sweep's rank count against the machine's
+// topology up front, in every path, with the same descriptive error
+// style Placement.validate uses.
+func validateSweepJob(job Job, t Topology) error {
+	n := len(job.Ranks)
+	if n == 0 {
+		return fmt.Errorf("smtbalance: sweep job %q has no ranks", job.Name)
+	}
+	if n%2 != 0 {
+		return fmt.Errorf("smtbalance: sweep needs an even rank count (ranks pair on SMT cores), got %d; add a rank or drop one", n)
+	}
+	if n > t.Contexts() {
+		return fmt.Errorf("smtbalance: sweep job has %d ranks, but the %s topology has only %d hardware contexts; grow Options.Topology (e.g. Chips: %d) or shrink the job",
+			n, t, t.Contexts(), (n+t.CoresPerChip*t.SMTWays-1)/(t.CoresPerChip*t.SMTWays))
+	}
+	return nil
+}
+
+// sweepAll evaluates the whole space and returns the final ranking.
+func (m *Machine) sweepAll(ctx context.Context, job Job, space Space, opts *SweepOptions) (*SweepResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opts == nil {
+		opts = &SweepOptions{}
+	}
+	if opts.Run != nil {
+		return nil, fmt.Errorf("smtbalance: SweepOptions.Run must be nil for Machine sweeps; the Machine fixes the environment (build a second Machine instead)")
+	}
+	if m.opts.DynamicBalance || m.opts.OnIteration != nil {
+		return nil, fmt.Errorf("smtbalance: DynamicBalance/OnIteration are not supported in sweeps")
+	}
+	if err := validateSweepJob(job, m.opts.Topology); err != nil {
+		return nil, err
+	}
+	n := len(job.Ranks)
+	sp := sweep.Space{Topology: m.opts.Topology.inner()}
+	if space.FixPairing {
+		pairing := make(sweep.Pairing, 0, n/2)
+		for c := 0; c < n/2; c++ {
+			pairing = append(pairing, [2]int{2 * c, 2*c + 1})
+		}
+		sp.Pairings = []sweep.Pairing{pairing}
+		// Only priorities may move: pin the core map to the identity
+		// instead of letting a multi-chip topology re-spread the pairs.
+		sp.Assignments = [][]int{nil}
+	}
+	for _, p := range space.Priorities {
+		if !p.Valid() {
+			return nil, fmt.Errorf("smtbalance: invalid priority %d in space", p)
+		}
+		sp.Alphabet = append(sp.Alphabet, hwpri.Priority(p))
+	}
+	points, err := sweep.Enumerate(n, sp)
+	if err != nil {
+		return nil, err
+	}
+	base := envJobKey(m.opts.Topology, m.opts, job)
+	res, err := sweep.SweepCtx(ctx, job.inner(), points, sweep.Options{
+		Workers:    opts.Workers,
+		Top:        opts.Top,
+		Objective:  opts.Objective.inner(),
+		Config:     m.opts.simConfig(),
+		OnProgress: opts.Progress,
+		RunFn: func(ctx context.Context, ijob *mpisim.Job, ipl mpisim.Placement, cfg mpisim.Config) (sweep.Metrics, error) {
+			prios := make([]int, len(ipl.Prio))
+			for i, p := range ipl.Prio {
+				prios[i] = int(p)
+			}
+			key := placementKey(base, ipl.CPU, prios)
+			if met, ok := m.cache.getMetrics(key); ok {
+				return met, nil
+			}
+			r, err := mpisim.RunCtx(ctx, ijob, ipl, cfg)
+			if err != nil {
+				return sweep.Metrics{}, err
+			}
+			met := sweep.Metrics{Cycles: r.Cycles, Seconds: r.Seconds, ImbalancePct: r.Imbalance}
+			m.cache.putMetrics(key, met)
+			return met, nil
+		},
+	})
+	if err != nil {
+		return nil, ctxErrOf(ctx, err)
+	}
+	if res.Failed > 0 {
+		// Fail loudly whatever the Top truncation kept: a failed run
+		// means the budget or space is wrong for this job, and a
+		// ranking that silently omits configurations is worse than no
+		// ranking.
+		return nil, fmt.Errorf("smtbalance: %d of %d sweep configurations failed: %w",
+			res.Failed, res.Evaluated, res.FirstErr)
+	}
+	out := &SweepResult{Evaluated: res.Evaluated, Workers: sweep.PoolSize(res.Evaluated, opts.Workers)}
+	for _, rr := range res.Ranked {
+		ipl := rr.Point.Placement()
+		pl := Placement{CPU: ipl.CPU}
+		for _, p := range ipl.Prio {
+			pl.Priority = append(pl.Priority, Priority(p))
+		}
+		out.Entries = append(out.Entries, SweepEntry{
+			Placement:    pl,
+			Cycles:       rr.Metrics.Cycles,
+			Seconds:      rr.Metrics.Seconds,
+			ImbalancePct: rr.Metrics.ImbalancePct,
+			Score:        rr.Score,
+		})
+	}
+	return out, nil
+}
+
+// Sweep evaluates every configuration of the space under the job and
+// streams the ranking as an iterator of (entry, error) pairs, best
+// configuration first.  The space is evaluated across the worker pool on
+// the first pull; opts.Progress (if set) observes the evaluation as it
+// runs with (evaluated, total) counts.  Scores are normalized against
+// the sweep-wide fastest run, so entries necessarily stream only after
+// evaluation completes — but the iterator may be abandoned at any point
+// (break), and cancelling ctx aborts the evaluation promptly, yielding
+// exactly one (SweepEntry{}, ctx.Err()) pair.
+//
+// SweepOptions.Run must be nil: the Machine fixes the environment.
+func (m *Machine) Sweep(ctx context.Context, job Job, space Space, opts *SweepOptions) iter.Seq2[SweepEntry, error] {
+	return func(yield func(SweepEntry, error) bool) {
+		res, err := m.sweepAll(ctx, job, space, opts)
+		if err != nil {
+			yield(SweepEntry{}, err)
+			return
+		}
+		for _, e := range res.Entries {
+			if !yield(e, nil) {
+				return
+			}
+		}
+	}
+}
+
+// SweepAll is Sweep collected into a SweepResult — the form the
+// deprecated package-level Sweep wrapper returns.
+func (m *Machine) SweepAll(ctx context.Context, job Job, space Space, opts *SweepOptions) (*SweepResult, error) {
+	return m.sweepAll(ctx, job, space, opts)
+}
+
+// Optimize searches the OS-settable placement × priority space of this
+// machine for the configuration optimizing the objective and returns it
+// with its full Result — the automated version of the by-hand search
+// behind the paper's Tables IV-VI.  The winner's re-run (for the trace
+// the sweep does not keep) executes under the machine's own options, and
+// is served from the result cache when the configuration was run before.
+func (m *Machine) Optimize(ctx context.Context, job Job, objective Objective) (Placement, *Result, error) {
+	sw, err := m.sweepAll(ctx, job, OSSettableSpace(), &SweepOptions{Top: 1, Objective: objective})
+	if err != nil {
+		return Placement{}, nil, err
+	}
+	best, err := sw.Best()
+	if err != nil {
+		return Placement{}, nil, err
+	}
+	res, err := m.Run(ctx, job, best.Placement)
+	if err != nil {
+		return Placement{}, nil, err
+	}
+	return best.Placement, res, nil
+}
+
+// Session binds one job to a Machine for the paper's iterative workflow:
+// profile a placement, look at the result, derive a better placement,
+// run again — Tables IV-VI were found exactly this way, by hand.  The
+// session remembers the last completed run so SuggestFromLast can turn
+// the observed per-rank compute shares into the next placement to try.
+// A Session is safe for concurrent use, though the "last result" is then
+// whichever run finished most recently.
+type Session struct {
+	m   *Machine
+	job Job
+
+	mu   sync.Mutex
+	last *Result
+}
+
+// NewSession opens a session for the job on this machine.
+func (m *Machine) NewSession(job Job) *Session { return &Session{m: m, job: job} }
+
+// Machine returns the session's machine.
+func (s *Session) Machine() *Machine { return s.m }
+
+// Job returns the session's job.
+func (s *Session) Job() Job { return s.job }
+
+// Run executes the session's job under the placement and records the
+// result as the session's last run.
+func (s *Session) Run(ctx context.Context, pl Placement) (*Result, error) {
+	res, err := s.m.Run(ctx, s.job, pl)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.last = res
+	s.mu.Unlock()
+	return res, nil
+}
+
+// Last returns the session's most recent successful Run or Optimize
+// result, or nil if none completed yet.
+func (s *Session) Last() *Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.last
+}
+
+// Sweep streams the ranking of the space for the session's job.
+func (s *Session) Sweep(ctx context.Context, space Space, opts *SweepOptions) iter.Seq2[SweepEntry, error] {
+	return s.m.Sweep(ctx, s.job, space, opts)
+}
+
+// Optimize searches the OS-settable space for the session's job and
+// records the winner's result as the session's last run.
+func (s *Session) Optimize(ctx context.Context, objective Objective) (Placement, *Result, error) {
+	pl, res, err := s.m.Optimize(ctx, s.job, objective)
+	if err != nil {
+		return Placement{}, nil, err
+	}
+	s.mu.Lock()
+	s.last = res
+	s.mu.Unlock()
+	return pl, res, nil
+}
+
+// SuggestFromLast derives the next placement to try from the last run:
+// each rank's share of time spent computing is the work estimate the
+// paper's authors read off their profiles, and SuggestPlacement turns
+// those estimates into a pairing and priority plan for this machine's
+// topology.  It errors if no run has completed yet.
+func (s *Session) SuggestFromLast() (Placement, error) {
+	last := s.Last()
+	if last == nil {
+		return Placement{}, fmt.Errorf("smtbalance: session has no completed run to profile; call Run first")
+	}
+	works := make([]float64, len(last.Ranks))
+	for i, r := range last.Ranks {
+		works[i] = r.ComputePct
+	}
+	return s.m.opts.Topology.SuggestPlacement(works)
+}

@@ -1,6 +1,7 @@
 package smtbalance
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -258,13 +259,24 @@ func (opts *Options) simConfig() mpisim.Config {
 
 // Run executes the job under the placement on the machine described by
 // Options.Topology (the paper's single chip by default).
+//
+// Deprecated: Run is a thin wrapper over a Machine — the shared default
+// Machine for nil opts (whose bounded result cache then memoizes
+// repeated configurations process-wide; Machine.ClearCache exists for
+// callers who hold their own), a transient one otherwise.  New code
+// should build a Machine once with NewMachine and call Machine.Run,
+// which adds context cancellation and result caching.
 func Run(job Job, pl Placement, opts *Options) (*Result, error) {
-	if opts == nil {
-		opts = &Options{}
-	}
-	if err := pl.validate(opts.Topology); err != nil {
+	m, err := machineFor(opts)
+	if err != nil {
 		return nil, err
 	}
+	return m.Run(context.Background(), job, pl)
+}
+
+// runSim executes one simulation under the options, uncached.  The
+// placement must already be validated against opts.Topology.
+func runSim(ctx context.Context, job Job, pl Placement, opts *Options) (*Result, error) {
 	inner := job.inner()
 	ipl, err := pl.inner()
 	if err != nil {
@@ -294,7 +306,7 @@ func Run(job Job, pl Placement, opts *Options) (*Result, error) {
 			}
 		}
 	}
-	res, err := mpisim.Run(inner, ipl, cfg)
+	res, err := mpisim.RunCtx(ctx, inner, ipl, cfg)
 	if err != nil {
 		return nil, err
 	}

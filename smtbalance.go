@@ -33,6 +33,28 @@
 //     chip's L2 versus spreading them across chips, with chip- and
 //     core-relabeling symmetries pruned.
 //
+// # The session-oriented API
+//
+// The paper's workflow is iterative — profile, re-place, re-prioritize,
+// re-run — so the primary API is a long-lived Machine: build it once
+// from the simulation Options with NewMachine, then call Machine.Run,
+// Machine.Sweep (a streaming iterator with progress reporting),
+// Machine.SweepAll and Machine.Optimize.  Every method takes a
+// context.Context and cancels promptly, the Machine is safe for
+// concurrent use, and — the simulator being deterministic — it memoizes
+// results in a bounded cache keyed by a canonical hash of (topology,
+// options, job, placement), so repeated configurations are served from
+// memory (see CacheStats).  Machine.NewSession binds one job to the
+// machine for the iterative loop itself: Session.Run records the last
+// result and Session.SuggestFromLast turns its observed compute shares
+// into the next placement to try.
+//
+// The package-level Run, Sweep and OptimizePlacement free functions are
+// deprecated: they remain as thin wrappers over a shared default
+// Machine (or a transient one for non-default options) and keep working
+// unchanged, but new code should hold a Machine.  The `mtbalance serve`
+// subcommand exposes a Machine over an HTTP JSON API.
+//
 // The quickstart example:
 //
 //	job := smtbalance.Job{Name: "demo", Ranks: [][]smtbalance.Phase{

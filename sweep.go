@@ -1,11 +1,11 @@
 package smtbalance
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
 
-	"repro/internal/hwpri"
 	"repro/internal/sweep"
 )
 
@@ -88,10 +88,18 @@ type SweepOptions struct {
 	Top int
 	// Objective scores each run; the zero value minimizes cycles.
 	Objective Objective
-	// Run is the per-run simulation environment.  DynamicBalance and
-	// OnIteration are rejected: sweep runs execute concurrently, and the
-	// sweep's whole point is searching static configurations.
+	// Run is the per-run simulation environment — only consulted by the
+	// deprecated package-level Sweep and OptimizePlacement wrappers,
+	// which build a Machine from it.  Machine.Sweep rejects a non-nil
+	// Run: the Machine already fixes the environment.  DynamicBalance
+	// and OnIteration are rejected in every sweep: runs execute
+	// concurrently, and the sweep's whole point is searching static
+	// configurations.
 	Run *Options
+	// Progress, if set, observes the evaluation as it runs with
+	// (evaluated, total) configuration counts.  Calls are serialized
+	// but follow run completion order.
+	Progress func(evaluated, total int)
 }
 
 // SweepEntry is one ranked configuration of a finished sweep.
@@ -159,84 +167,55 @@ func (r *SweepResult) WriteCSV(w io.Writer) error {
 // the worker count.  The job must have an even number of ranks whose
 // pairs fit the machine's cores (up to four ranks on the default POWER5
 // model; Run.Topology opens larger machines).
+//
+// Deprecated: Sweep is a thin wrapper over a Machine built from
+// opts.Run; new code should build the Machine once with NewMachine and
+// use Machine.Sweep (a cancellable streaming iterator with progress
+// reporting) or Machine.SweepAll.
 func Sweep(job Job, space Space, opts *SweepOptions) (*SweepResult, error) {
 	if opts == nil {
 		opts = &SweepOptions{}
 	}
-	runOpts := opts.Run
-	if runOpts == nil {
-		runOpts = &Options{}
-	}
-	if runOpts.DynamicBalance || runOpts.OnIteration != nil {
-		return nil, fmt.Errorf("smtbalance: DynamicBalance/OnIteration are not supported in sweeps")
-	}
-	n := len(job.Ranks)
-	sp := sweep.Space{Topology: runOpts.Topology.inner()}
-	if space.FixPairing {
-		if n%2 != 0 {
-			return nil, fmt.Errorf("smtbalance: sweep needs an even rank count, got %d", n)
-		}
-		pairing := make(sweep.Pairing, 0, n/2)
-		for c := 0; c < n/2; c++ {
-			pairing = append(pairing, [2]int{2 * c, 2*c + 1})
-		}
-		sp.Pairings = []sweep.Pairing{pairing}
-		// Only priorities may move: pin the core map to the identity
-		// instead of letting a multi-chip topology re-spread the pairs.
-		sp.Assignments = [][]int{nil}
-	}
-	for _, p := range space.Priorities {
-		if !p.Valid() {
-			return nil, fmt.Errorf("smtbalance: invalid priority %d in space", p)
-		}
-		sp.Alphabet = append(sp.Alphabet, hwpri.Priority(p))
-	}
-	points, err := sweep.Enumerate(n, sp)
+	m, err := machineFor(opts.Run)
 	if err != nil {
 		return nil, err
 	}
-	res, err := sweep.Sweep(job.inner(), points, sweep.Options{
-		Workers:   opts.Workers,
-		Top:       opts.Top,
-		Objective: opts.Objective.inner(),
-		Config:    runOpts.simConfig(),
-	})
-	if err != nil {
-		return nil, err
-	}
-	if res.Failed > 0 {
-		// Fail loudly whatever the Top truncation kept: a failed run
-		// means the budget or space is wrong for this job, and a
-		// ranking that silently omits configurations is worse than no
-		// ranking.
-		return nil, fmt.Errorf("smtbalance: %d of %d sweep configurations failed: %w",
-			res.Failed, res.Evaluated, res.FirstErr)
-	}
-	out := &SweepResult{Evaluated: res.Evaluated, Workers: sweep.PoolSize(res.Evaluated, opts.Workers)}
-	for _, rr := range res.Ranked {
-		ipl := rr.Point.Placement()
-		pl := Placement{CPU: ipl.CPU}
-		for _, p := range ipl.Prio {
-			pl.Priority = append(pl.Priority, Priority(p))
-		}
-		out.Entries = append(out.Entries, SweepEntry{
-			Placement:    pl,
-			Cycles:       rr.Metrics.Cycles,
-			Seconds:      rr.Metrics.Seconds,
-			ImbalancePct: rr.Metrics.ImbalancePct,
-			Score:        rr.Score,
-		})
-	}
-	return out, nil
+	mOpts := *opts
+	mOpts.Run = nil // the Machine carries the environment now
+	return m.sweepAll(context.Background(), job, space, &mOpts)
 }
 
 // OptimizePlacement searches the OS-settable placement × priority space
 // for the configuration optimizing the objective and returns it together
 // with its full Result — the automated version of the by-hand procedure
 // behind the paper's Tables IV-VI, and the search SuggestPlacement only
-// approximates with its performance model.
-func OptimizePlacement(job Job, objective Objective) (Placement, *Result, error) {
-	sw, err := Sweep(job, OSSettableSpace(), &SweepOptions{Top: 1, Objective: objective})
+// approximates with its performance model.  An optional single
+// SweepOptions argument tunes the search (Workers, Progress) and, via
+// its Run field, the simulation environment: the winner's re-run uses
+// the same environment as the sweep, so optimizing over a non-default
+// Options.Topology returns that topology's best run, not the default
+// machine's.  Top and Objective in the provided options are overridden.
+//
+// Deprecated: new code should build a Machine with NewMachine and call
+// Machine.Optimize, which is cancellable and threads the machine's
+// environment through both the sweep and the winner's re-run.
+func OptimizePlacement(job Job, objective Objective, opts ...*SweepOptions) (Placement, *Result, error) {
+	if len(opts) > 1 {
+		return Placement{}, nil, fmt.Errorf("smtbalance: OptimizePlacement takes at most one SweepOptions, got %d", len(opts))
+	}
+	var so SweepOptions
+	if len(opts) == 1 && opts[0] != nil {
+		so = *opts[0]
+	}
+	m, err := machineFor(so.Run)
+	if err != nil {
+		return Placement{}, nil, err
+	}
+	so.Run = nil
+	so.Top = 1
+	so.Objective = objective
+	ctx := context.Background()
+	sw, err := m.sweepAll(ctx, job, OSSettableSpace(), &so)
 	if err != nil {
 		return Placement{}, nil, err
 	}
@@ -244,9 +223,10 @@ func OptimizePlacement(job Job, objective Objective) (Placement, *Result, error)
 	if err != nil {
 		return Placement{}, nil, err
 	}
-	// Re-run the winner for the full Result (trace included): the
-	// simulator is deterministic, so this reproduces the swept run.
-	res, err := Run(job, best.Placement, nil)
+	// Re-run the winner for the full Result (trace included) under the
+	// machine's own environment: the simulator is deterministic, so this
+	// reproduces the swept run — served from the cache when possible.
+	res, err := m.Run(ctx, job, best.Placement)
 	if err != nil {
 		return Placement{}, nil, err
 	}

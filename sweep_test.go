@@ -1,6 +1,7 @@
 package smtbalance
 
 import (
+	"context"
 	"reflect"
 	"strings"
 	"testing"
@@ -178,5 +179,99 @@ func TestOptimizePlacement(t *testing.T) {
 	if rerun.Cycles != res.Cycles {
 		t.Errorf("returned Result (%d cycles) does not match its placement's run (%d cycles)",
 			res.Cycles, rerun.Cycles)
+	}
+}
+
+// TestOptimizePlacementThreadsOptions is the regression test for the
+// options-dropping bug: OptimizePlacement used to re-run the winning
+// placement with nil options, so a sweep over a non-default
+// Options.Topology re-ran its winner on the 1×2×2 default machine —
+// failing outright when the winner used a CPU past 3, silently
+// mismatching otherwise.  The sweep's whole environment (topology and
+// noise settings here) must carry into the winner's re-run.
+func TestOptimizePlacementThreadsOptions(t *testing.T) {
+	topo := Topology{Chips: 2, CoresPerChip: 2, SMTWays: 2}
+	opts := &Options{Topology: topo, NoOSNoise: true}
+	job := sweepTestJob(200, 800)
+	pl, res, err := OptimizePlacement(job, MinimizeCycles(), &SweepOptions{Run: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, cpu := range pl.CPU {
+		if cpu < 0 || cpu >= topo.Contexts() {
+			t.Fatalf("winner pins rank %d to CPU %d outside the %s topology", r, cpu, topo)
+		}
+	}
+	// The returned Result must be the winner's run under the sweep's own
+	// environment: re-running it there reproduces it exactly.
+	rerun, err := Run(job, pl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rerun.Cycles != res.Cycles {
+		t.Errorf("Optimize Result (%d cycles) does not match the winner's run on its own machine (%d cycles)",
+			res.Cycles, rerun.Cycles)
+	}
+	for i, rr := range res.Ranks {
+		wantChip := pl.CPU[i] / (topo.CoresPerChip * topo.SMTWays)
+		if rr.Chip != wantChip {
+			t.Errorf("rank %d reports chip %d, want %d — result not from the 2-chip machine", i, rr.Chip, wantChip)
+		}
+	}
+	if _, _, err := OptimizePlacement(job, MinimizeCycles(), nil, nil); err == nil {
+		t.Error("OptimizePlacement accepted two SweepOptions arguments")
+	}
+}
+
+// TestSweepValidatesRankCountUpFront pins the up-front validation: every
+// sweep path — fixed pairing or not, wrapper or Machine — must reject a
+// bad rank count with the same descriptive smtbalance error style as
+// Placement.validate, instead of a deep enumerator failure.
+func TestSweepValidatesRankCountUpFront(t *testing.T) {
+	odd := Job{Name: "odd", Ranks: sweepTestJob(1000, 2000).Ranks[:3]}
+	for _, space := range []Space{{}, {FixPairing: true}} {
+		_, err := Sweep(odd, space, nil)
+		if err == nil {
+			t.Fatalf("odd rank count accepted (FixPairing=%v)", space.FixPairing)
+		}
+		if !strings.HasPrefix(err.Error(), "smtbalance:") || !strings.Contains(err.Error(), "even rank count") {
+			t.Errorf("odd-count error not descriptive (FixPairing=%v): %v", space.FixPairing, err)
+		}
+	}
+
+	six := sweepTestJob(1000, 2000)
+	six.Ranks = append(six.Ranks, six.Ranks[0], six.Ranks[1])
+	for _, space := range []Space{{}, {FixPairing: true}} {
+		_, err := Sweep(six, space, nil)
+		if err == nil {
+			t.Fatalf("6 ranks on the 4-context default accepted (FixPairing=%v)", space.FixPairing)
+		}
+		msg := err.Error()
+		if !strings.HasPrefix(msg, "smtbalance:") || !strings.Contains(msg, "1x2x2") ||
+			!strings.Contains(msg, "4 hardware contexts") || !strings.Contains(msg, "grow Options.Topology") {
+			t.Errorf("oversized-job error not descriptive (FixPairing=%v): %v", space.FixPairing, err)
+		}
+	}
+
+	if _, err := Sweep(Job{Name: "empty"}, Space{}, nil); err == nil ||
+		!strings.Contains(err.Error(), "no ranks") {
+		t.Errorf("empty job error not descriptive: %v", err)
+	}
+
+	// The same validation guards the Machine path.
+	m, err := NewMachine(&Options{Topology: Topology{Chips: 2, CoresPerChip: 2, SMTWays: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.SweepAll(context.Background(), odd, Space{}, nil); err == nil ||
+		!strings.Contains(err.Error(), "even rank count") {
+		t.Errorf("Machine.SweepAll odd-count error: %v", err)
+	}
+	// 6 ranks fit a 2-chip machine: the same job that fails above must
+	// enumerate here... except 6 ranks = 3 pairs on 4 cores, which is
+	// valid, so only check it gets past the rank-count validation.
+	if _, err := m.SweepAll(context.Background(), six, Space{FixPairing: true,
+		Priorities: []Priority{PriorityMedium}}, nil); err != nil {
+		t.Errorf("6 ranks rejected on an 8-context machine: %v", err)
 	}
 }
