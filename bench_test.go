@@ -12,6 +12,7 @@ package smtbalance
 
 import (
 	"context"
+	"sort"
 	"testing"
 	"time"
 
@@ -331,5 +332,97 @@ func BenchmarkCacheHitSpeedup(b *testing.B) {
 	b.ReportMetric(warmTime.Seconds()*1000, "warm-ms")
 	if speedup < 10 {
 		b.Fatalf("cache speedup %.1fx < 10x (cold %v, warm %v)", speedup, coldTime, warmTime)
+	}
+}
+
+// BenchmarkPolicyOverhead measures what attaching a balancing policy
+// costs on the Table V BT-MZ job: the no-policy fast path (no iteration
+// hook at all) against StaticPolicy (hook attached, zero actions) and
+// the active built-ins.  StaticPolicy's hook must be free — under 2% of
+// the no-policy run — and behaviorally invisible (identical simulated
+// cycles); the benchmark fails otherwise, so CI's bench smoke guards the
+// policy engine's overhead.  Record with the README recipe into
+// BENCH_policy_baseline.json.
+func BenchmarkPolicyOverhead(b *testing.B) {
+	// The Table V BT-MZ load distribution (P1..P4 = 18/24/67/100% of the
+	// heaviest), paired heavy-with-light per core as in the paper's
+	// balanced cases, iterating so online policies get traction.
+	loads := []int64{40000, 7200, 26800, 9600}
+	job := Job{Name: "btmz-policy"}
+	for _, n := range loads {
+		var prog []Phase
+		for i := 0; i < 6; i++ {
+			prog = append(prog, Compute("fpu", n), Barrier())
+		}
+		job.Ranks = append(job.Ranks, prog)
+	}
+	pl := PinInOrder(4)
+	opts := &Options{NoOSNoise: true}
+	ctx := context.Background()
+	// runOnce takes the failing *testing.B explicitly so sub-benchmarks
+	// fail on their own goroutine, as FailNow requires.
+	runOnce := func(b *testing.B, pol Policy) *Result {
+		// runSim, not Machine.Run: the result cache would otherwise turn
+		// every timed run after the first into a map lookup.
+		res, err := runSim(ctx, job, pl, opts, pol)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res
+	}
+
+	for _, v := range []struct {
+		name string
+		pol  Policy
+	}{
+		{"nopolicy", nil},
+		{"static", StaticPolicy{}},
+		{"dyn", &PaperDynamic{}},
+		{"feedback", &FeedbackPolicy{}},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			var res *Result
+			for i := 0; i < b.N; i++ {
+				res = runOnce(b, v.pol)
+			}
+			b.ReportMetric(float64(res.BalancerMoves), "moves")
+			b.ReportMetric(float64(res.Cycles), "sim-cycles")
+		})
+	}
+
+	// Behavioral gate: a no-op policy must not change the simulation.
+	if noRes, stRes := runOnce(b, nil), runOnce(b, StaticPolicy{}); noRes.Cycles != stRes.Cycles {
+		b.Fatalf("StaticPolicy changed the run: %d vs %d cycles", stRes.Cycles, noRes.Cycles)
+	}
+	// Overhead gate, independent of b.N so CI's -benchtime=1x still
+	// measures.  Shared runners are noisy, so each sample is a
+	// back-to-back pair — alternating which variant runs first to cancel
+	// drift — and the gate compares the median of the paired ratios,
+	// where machine noise cancels and only a systematic hook cost
+	// survives.
+	const samples = 25
+	ratios := make([]float64, 0, samples)
+	for i := 0; i < samples; i++ {
+		var dNo, dSt time.Duration
+		if i%2 == 0 {
+			t0 := time.Now()
+			runOnce(b, nil)
+			t1 := time.Now()
+			runOnce(b, StaticPolicy{})
+			dNo, dSt = t1.Sub(t0), time.Since(t1)
+		} else {
+			t0 := time.Now()
+			runOnce(b, StaticPolicy{})
+			t1 := time.Now()
+			runOnce(b, nil)
+			dSt, dNo = t1.Sub(t0), time.Since(t1)
+		}
+		ratios = append(ratios, float64(dSt)/float64(dNo))
+	}
+	sort.Float64s(ratios)
+	overhead := ratios[samples/2] - 1
+	b.ReportMetric(overhead*100, "static-overhead-%")
+	if overhead > 0.02 {
+		b.Fatalf("StaticPolicy overhead %.2f%% > 2%% (median of %d paired runs)", overhead*100, samples)
 	}
 }

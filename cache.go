@@ -3,6 +3,7 @@ package smtbalance
 import (
 	"crypto/sha256"
 	"encoding/binary"
+	"sort"
 	"sync"
 
 	"repro/internal/mpisim"
@@ -37,14 +38,38 @@ func (h *hasher) bool(v bool) {
 	}
 }
 
+// str hashes a length-prefixed string, so concatenated fields can never
+// collide by reassociation.
+func (h *hasher) str(s string) {
+	h.i64(int64(len(s)))
+	h.buf = append(h.buf, s...)
+}
+
 // envJobKey hashes the run environment and the job — everything but the
-// placement, which sweeps vary point by point.  Job.Name is deliberately
-// excluded: it labels diagnostics and never reaches the simulated
-// machine, so two jobs differing only in name share cache entries.
-func envJobKey(topo Topology, opts Options, job Job) [sha256.Size]byte {
+// placement, which sweeps vary point by point.
+//
+// Audit: every behavior-affecting Options field must appear here.
+//   - Topology: hashed (three dimensions, normalized).
+//   - VanillaKernel, NoOSNoise, ColdCaches: hashed.
+//   - Policy / DynamicBalance / MaxPriorityDiff: all three resolve to
+//     one policy value (resolvePolicy), hashed structurally — the name
+//     and every parameter key/value length-prefixed, keys sorted — so
+//     the deprecated knobs and their Policy spelling share entries,
+//     while distinct policies or parameters can never collide, even for
+//     custom policies whose Name/Params contain the rendered PolicyID
+//     grammar's delimiters.
+//   - MaxCycles: hashed.
+//   - OnIteration: not hashed — its presence disables caching entirely
+//     (Machine.Run), as does a policy that cannot be re-bound per run
+//     (policyCacheable).
+//
+// Job.Name is deliberately excluded: it labels diagnostics and never
+// reaches the simulated machine, so two jobs differing only in name
+// share cache entries.
+func envJobKey(topo Topology, opts Options, pol Policy, job Job) [sha256.Size]byte {
 	var h hasher
 	h.tag('v')
-	h.tag('1')
+	h.tag('2')
 	topo = topo.normalized()
 	h.i64(int64(topo.Chips))
 	h.i64(int64(topo.CoresPerChip))
@@ -52,12 +77,23 @@ func envJobKey(topo Topology, opts Options, job Job) [sha256.Size]byte {
 	h.bool(opts.VanillaKernel)
 	h.bool(opts.NoOSNoise)
 	h.bool(opts.ColdCaches)
-	h.bool(opts.DynamicBalance)
-	maxDiff := opts.MaxPriorityDiff
-	if !opts.DynamicBalance {
-		maxDiff = 0 // irrelevant without the balancer: do not split the key
+	if pol == nil {
+		h.tag(0)
+	} else {
+		h.tag(1)
+		h.str(pol.Name())
+		params := pol.Params()
+		keys := make([]string, 0, len(params))
+		for k := range params {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		h.i64(int64(len(keys)))
+		for _, k := range keys {
+			h.str(k)
+			h.str(params[k])
+		}
 	}
-	h.i64(int64(maxDiff))
 	h.i64(opts.MaxCycles)
 	h.i64(int64(len(job.Ranks)))
 	for _, prog := range job.Ranks {

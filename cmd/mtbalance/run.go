@@ -82,6 +82,7 @@ func runRun(args []string) int {
 		scale   = fs.Float64("scale", 1.0, "workload scale factor")
 		pin     = fs.String("pin", "", `explicit placement: "chip.core.context[@prio]" per rank, comma-separated`)
 		balance = fs.Bool("balance", false, "use the topology-aware static plan instead of pin-in-order")
+		policy  = fs.String("policy", "", "online balancing policy, e.g. dyn,maxdiff=2 ("+strings.Join(smtbalance.Policies(), ", ")+")")
 		traces  = fs.Bool("trace", false, "print the run's timeline")
 		width   = fs.Int("width", 100, "timeline width in columns")
 	)
@@ -137,7 +138,14 @@ func runRun(args []string) int {
 		}
 	}
 
-	m, err := smtbalance.NewMachine(&smtbalance.Options{Topology: topo})
+	opts := smtbalance.Options{Topology: topo}
+	if *policy != "" {
+		if opts.Policy, err = smtbalance.ParsePolicy(*policy); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	}
+	m, err := smtbalance.NewMachine(&opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
@@ -159,6 +167,9 @@ func runRun(args []string) int {
 	fmt.Println(tb.String())
 	fmt.Printf("execution: %s (%d cycles), imbalance %s, %d iterations\n",
 		metrics.Seconds(res.Seconds), res.Cycles, metrics.Pct(res.ImbalancePct), res.Iterations)
+	if res.Policy != "" {
+		fmt.Printf("policy: %s, %d priority moves\n", res.Policy, res.BalancerMoves)
+	}
 	if *traces {
 		fmt.Println(res.Timeline(*width))
 	}

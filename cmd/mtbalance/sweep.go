@@ -21,6 +21,14 @@ the paper's Tables IV-VI, automated.  -chips/-cores/-smt size the
 machine; on a multi-chip node the space also covers packing rank pairs
 onto one chip's L2 versus spreading them across chips.
 
+-policy adds a balancing-policy axis: a ';'-separated list of policy
+specifications (each in ParsePolicy syntax) ranked against each other
+over every placement x priority point, e.g.
+
+    mtbalance sweep -chips 2 -iters 10 -fix-pairing -space medium \
+        -policy 'static;dyn;hier;feedback' -objective imbalance \
+        -ranks 40000,7200,26800,9600,40000,7200,26800,9600
+
 `
 
 // runSweep implements `mtbalance sweep`.
@@ -31,7 +39,8 @@ func runSweep(args []string) int {
 		workers   = fs.Int("workers", 0, "concurrent simulator runs (0 = one per CPU, 1 = serial)")
 		top       = fs.Int("top", 10, "keep the best K configurations (0 = all)")
 		objective = fs.String("objective", "cycles", "ranking objective: cycles, imbalance, or weighted:<cw>,<iw>")
-		space     = fs.String("space", "user", "priority alphabet: user (2-4) or os (2-6)")
+		space     = fs.String("space", "user", "priority alphabet: user (2-4), os (2-6), or medium (launch everything at 4 and let policies move)")
+		policies  = fs.String("policy", "", "';'-separated balancing policies to rank, e.g. 'static;dyn,maxdiff=2;hier;feedback'")
 		fixed     = fs.Bool("fix-pairing", false, "keep ranks 2c,2c+1 paired on core c instead of sweeping pairings")
 		ranks     = fs.String("ranks", "50000,220000,50000,220000", "per-rank compute instruction counts, comma-separated (even count)")
 		kind      = fs.String("kind", "fpu", "compute kernel kind ("+strings.Join(smtbalance.KernelKinds(), ", ")+")")
@@ -68,11 +77,29 @@ func runSweep(args []string) int {
 		sp = smtbalance.UserSettableSpace()
 	case "os":
 		sp = smtbalance.OSSettableSpace()
+	case "medium":
+		// One launch configuration per placement: the pure policy-
+		// comparison space, where only online balancing differentiates.
+		sp = smtbalance.Space{Priorities: []smtbalance.Priority{smtbalance.PriorityMedium}}
 	default:
-		fmt.Fprintf(os.Stderr, "unknown -space %q (want user or os)\n", *space)
+		fmt.Fprintf(os.Stderr, "unknown -space %q (want user, os or medium)\n", *space)
 		return 2
 	}
 	sp.FixPairing = *fixed
+	if *policies != "" {
+		for _, spec := range strings.Split(*policies, ";") {
+			spec = strings.TrimSpace(spec)
+			if spec == "" {
+				continue
+			}
+			pol, err := smtbalance.ParsePolicy(spec)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 2
+			}
+			sp.Policies = append(sp.Policies, pol)
+		}
+	}
 
 	obj, err := parseObjective(*objective)
 	if err != nil {
@@ -117,16 +144,29 @@ func runSweep(args []string) int {
 	} else {
 		title := fmt.Sprintf("Sweep — %d configurations, objective %s, %d workers",
 			res.Evaluated, *objective, res.Workers)
-		tb := metrics.NewTable(title, "Rank", "CPUs", "Prios", "Cycles", "Exec", "Imb%", "Score")
+		withPolicy := len(sp.Policies) > 0
+		cols := []string{"Rank", "CPUs", "Prios", "Cycles", "Exec", "Imb%", "Score"}
+		if withPolicy {
+			cols = append([]string{"Rank", "Policy"}, cols[1:]...)
+		}
+		tb := metrics.NewTable(title, cols...)
 		for i, e := range res.Entries {
-			tb.AddRow(fmt.Sprint(i+1), joinInts(e.Placement.CPU), joinPrios(e.Placement.Priority),
+			row := []string{fmt.Sprint(i + 1), joinInts(e.Placement.CPU), joinPrios(e.Placement.Priority),
 				fmt.Sprint(e.Cycles), metrics.Seconds(e.Seconds),
-				fmt.Sprintf("%.2f", e.ImbalancePct), fmt.Sprintf("%.4f", e.Score))
+				fmt.Sprintf("%.2f", e.ImbalancePct), fmt.Sprintf("%.4f", e.Score)}
+			if withPolicy {
+				row = append([]string{row[0], e.Policy}, row[1:]...)
+			}
+			tb.AddRow(row...)
 		}
 		fmt.Println(tb.String())
 		if best, err := res.Best(); err == nil {
-			fmt.Printf("best: CPUs %s, priorities %s — %s, imbalance %.2f%%\n",
-				joinInts(best.Placement.CPU), joinPrios(best.Placement.Priority),
+			label := ""
+			if best.Policy != "" {
+				label = fmt.Sprintf("policy %s, ", best.Policy)
+			}
+			fmt.Printf("best: %sCPUs %s, priorities %s — %s, imbalance %.2f%%\n",
+				label, joinInts(best.Placement.CPU), joinPrios(best.Placement.Priority),
 				metrics.Seconds(best.Seconds), best.ImbalancePct)
 		}
 	}

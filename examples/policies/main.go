@@ -1,0 +1,196 @@
+// Balancing-policy walkthrough: define a custom online policy, register
+// it next to the built-ins, close the paper's profile → re-place →
+// retune loop with Session.Balance, and finally let a policy-axis sweep
+// rank the custom policy against the built-ins on equal terms.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	smtbalance "repro"
+)
+
+// GreedyPolicy is the custom policy of this example: an intentionally
+// impatient balancer that jumps straight to MaxDiff in favor of
+// whichever rank of a core lagged in the last iteration — no hysteresis,
+// no ramp.  On steady loads it reaches the right skew faster than the
+// paper's damped balancer; on moving bottlenecks it pays the paper's
+// Case D penalty at every flip, which is exactly the trade-off a sweep
+// over policies makes visible.
+type GreedyPolicy struct {
+	// MaxDiff is the priority difference applied to every imbalanced
+	// pair (default 2).
+	MaxDiff int
+
+	pairs [][2]int // per-run: ranks sharing a core
+	diff  []int    // per-run: current signed difference per pair
+}
+
+func (g *GreedyPolicy) effMaxDiff() int {
+	if g.MaxDiff <= 0 {
+		return 2
+	}
+	if g.MaxDiff > 4 {
+		return 4
+	}
+	return g.MaxDiff
+}
+
+// Name and Params identify the policy; together they form its PolicyID,
+// which keys the result cache — so every behavior-affecting parameter
+// must appear here.
+func (g *GreedyPolicy) Name() string { return "greedy" }
+func (g *GreedyPolicy) Params() map[string]string {
+	return map[string]string{"maxdiff": strconv.Itoa(g.effMaxDiff())}
+}
+
+// Bind makes the policy usable in sweeps and cacheable: each run gets a
+// fresh instance with its own pair state.
+func (g *GreedyPolicy) Bind(topo smtbalance.Topology, pl smtbalance.Placement) smtbalance.Policy {
+	cp := *g
+	ways := topo.SMTWays
+	if ways <= 0 {
+		ways = 2
+	}
+	byCore := map[int][]int{}
+	maxCore := 0
+	for rank, cpu := range pl.CPU {
+		byCore[cpu/ways] = append(byCore[cpu/ways], rank)
+		if cpu/ways > maxCore {
+			maxCore = cpu / ways
+		}
+	}
+	for c := 0; c <= maxCore; c++ {
+		if ranks := byCore[c]; len(ranks) == 2 {
+			cp.pairs = append(cp.pairs, [2]int{ranks[0], ranks[1]})
+		}
+	}
+	cp.diff = make([]int, len(cp.pairs))
+	return &cp
+}
+
+// Observe is the whole algorithm: all-or-nothing skew toward the laggard.
+func (g *GreedyPolicy) Observe(st smtbalance.IterationStats) []smtbalance.PriorityAction {
+	var acts []smtbalance.PriorityAction
+	for i, pair := range g.pairs {
+		a, b := pair[0], pair[1]
+		want := 0
+		switch {
+		case st.ComputeCycles[a] > st.ComputeCycles[b]:
+			want = g.effMaxDiff()
+		case st.ComputeCycles[b] > st.ComputeCycles[a]:
+			want = -g.effMaxDiff()
+		}
+		if want == g.diff[i] {
+			continue
+		}
+		g.diff[i] = want
+		hi, lo := smtbalance.PriorityHigh, smtbalance.PriorityMedium
+		if g.effMaxDiff() == 1 {
+			hi = smtbalance.PriorityMediumHigh
+		}
+		switch {
+		case want > 0:
+			acts = append(acts, smtbalance.PriorityAction{Rank: a, Priority: hi},
+				smtbalance.PriorityAction{Rank: b, Priority: lo})
+		case want < 0:
+			acts = append(acts, smtbalance.PriorityAction{Rank: a, Priority: lo},
+				smtbalance.PriorityAction{Rank: b, Priority: hi})
+		default:
+			acts = append(acts, smtbalance.PriorityAction{Rank: a, Priority: smtbalance.PriorityMedium},
+				smtbalance.PriorityAction{Rank: b, Priority: smtbalance.PriorityMedium})
+		}
+	}
+	return acts
+}
+
+// job is a BT-MZ-style imbalanced iterative job (the Table V load
+// distribution, heaviest rank first so heavy and light ranks pair up).
+func job() smtbalance.Job {
+	j := smtbalance.Job{Name: "btmz-policies"}
+	for _, n := range []int64{40000, 7200, 26800, 9600} {
+		var prog []smtbalance.Phase
+		for i := 0; i < 10; i++ {
+			prog = append(prog, smtbalance.Compute("fpu", n), smtbalance.Barrier())
+		}
+		j.Ranks = append(j.Ranks, prog)
+	}
+	return j
+}
+
+func main() {
+	// 1. Register the custom policy.  Registration makes it reachable
+	// from ParsePolicy — i.e. from `mtbalance run -policy greedy`, the
+	// serve API's "policy" field, and plain string configuration.
+	err := smtbalance.RegisterPolicy("greedy", func(params map[string]string) (smtbalance.Policy, error) {
+		g := &GreedyPolicy{}
+		if s, ok := params["maxdiff"]; ok {
+			delete(params, "maxdiff")
+			v, err := strconv.Atoi(s)
+			if err != nil {
+				return nil, fmt.Errorf("maxdiff=%q: want an integer", s)
+			}
+			g.MaxDiff = v
+		}
+		for k := range params {
+			return nil, fmt.Errorf("unknown parameter %q", k)
+		}
+		return g, nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("registered policies: %s\n\n", strings.Join(smtbalance.Policies(), ", "))
+
+	m, err := smtbalance.NewMachine(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	j := job()
+
+	// 2. Close the loop with Session.Balance: profile pinned-in-order,
+	// re-place from the observed compute shares, re-run with the custom
+	// policy retuning online.
+	custom, err := smtbalance.ParsePolicy("greedy,maxdiff=2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := m.NewSession(j)
+	naive, err := s.Run(ctx, smtbalance.PinInOrder(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	balanced, err := s.Balance(ctx, custom)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("naive:            %8.1fµs  imbalance %5.2f%%\n", naive.Seconds*1e6, naive.ImbalancePct)
+	fmt.Printf("Session.Balance:  %8.1fµs  imbalance %5.2f%%  (%s, %d moves)\n\n",
+		balanced.Seconds*1e6, balanced.ImbalancePct, balanced.Policy, balanced.BalancerMoves)
+
+	// 3. Rank the custom policy against the built-ins: one launch
+	// configuration (everything at medium), the policies differentiate.
+	space := smtbalance.Space{
+		FixPairing: true,
+		Priorities: []smtbalance.Priority{smtbalance.PriorityMedium},
+		Policies: []smtbalance.Policy{
+			smtbalance.StaticPolicy{},
+			&smtbalance.PaperDynamic{},
+			&smtbalance.FeedbackPolicy{},
+			custom,
+		},
+	}
+	res, err := m.SweepAll(ctx, j, space, &smtbalance.SweepOptions{Objective: smtbalance.MinimizeImbalance()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("policy ranking (objective: imbalance):")
+	for i, e := range res.Entries {
+		fmt.Printf("%d. %-55s %8.1fµs  imbalance %5.2f%%\n", i+1, e.Policy, e.Seconds*1e6, e.ImbalancePct)
+	}
+}

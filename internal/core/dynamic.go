@@ -62,10 +62,17 @@ func NewDynamic(cfg DynamicConfig) *Dynamic {
 	}
 	d := &Dynamic{cfg: cfg}
 	byCore := map[int][]int{}
+	maxCore := 0
 	for rank, cpu := range cfg.CPU {
 		byCore[cpu/2] = append(byCore[cpu/2], rank)
+		if cpu/2 > maxCore {
+			maxCore = cpu / 2
+		}
 	}
-	for core := 0; core < len(cfg.CPU); core++ {
+	// Walk cores up to the highest one actually used: a placement may
+	// pin its ranks to high core indices (e.g. a 2-rank job on the
+	// second chip), and those pairs must be managed too.
+	for core := 0; core <= maxCore; core++ {
 		if ranks := byCore[core]; len(ranks) == 2 {
 			d.pairs = append(d.pairs, [2]int{ranks[0], ranks[1]})
 		}
@@ -82,21 +89,34 @@ func (d *Dynamic) Pairs() [][2]int { return d.pairs }
 // Diffs returns the current signed priority difference per pair.
 func (d *Dynamic) Diffs() []int { return append([]int(nil), d.diff...) }
 
-// OnIteration implements the mpisim iteration hook.
-func (d *Dynamic) OnIteration(ev mpisim.IterationEvent) {
-	iterLen := ev.Release - d.lastRelease
-	d.lastRelease = ev.Release
+// Action is one priority write a balancing decision requests: set rank
+// Rank's hardware thread priority to Prio through the procfs interface.
+type Action struct {
+	Rank int
+	Prio hwpri.Priority
+}
+
+// Observe consumes one iteration's observations (per-rank compute
+// cycles, barrier arrival cycles, the release cycle) and returns the
+// priority writes to perform, grouped per pair in (favored rank first)
+// order.  It is the pure decision half of the balancer: the caller — the
+// mpisim OnIteration adapter below, or the public policy engine — owns
+// applying the actions through the kernel.
+func (d *Dynamic) Observe(compute, arrival []int64, release int64) []Action {
+	iterLen := release - d.lastRelease
+	d.lastRelease = release
 	if iterLen <= 0 {
-		return
+		return nil
 	}
+	var acts []Action
 	for i, pair := range d.pairs {
 		a, b := pair[0], pair[1]
 		// Prefer the per-rank computation time (what the paper's OS
 		// balancer would sample); barrier arrival can be synchronized
 		// by exchange coupling and carries no per-rank signal then.
-		signal := ev.ComputeCycles
+		signal := compute
 		if signal == nil {
-			signal = ev.Arrival
+			signal = arrival
 		}
 		gap := float64(signal[a]-signal[b]) / float64(iterLen)
 		// gap > 0: rank a is the pair's bottleneck.
@@ -132,27 +152,30 @@ func (d *Dynamic) OnIteration(ev mpisim.IterationEvent) {
 			continue
 		}
 		d.diff[i] = want
-		d.apply(ev, i)
+		var pa, pb hwpri.Priority
+		if want >= 0 {
+			pa, pb = PrioritiesFor(want)
+		} else {
+			pb, pa = PrioritiesFor(-want)
+		}
+		acts = append(acts, Action{Rank: a, Prio: pa}, Action{Rank: b, Prio: pb})
 	}
+	return acts
 }
 
-// apply writes the pair's current priorities through procfs.
-func (d *Dynamic) apply(ev mpisim.IterationEvent, i int) {
-	a, b := d.pairs[i][0], d.pairs[i][1]
-	diff := d.diff[i]
-	var pa, pb hwpri.Priority
-	if diff >= 0 {
-		pa, pb = PrioritiesFor(diff)
-	} else {
-		pb, pa = PrioritiesFor(-diff)
+// OnIteration implements the mpisim iteration hook: decide with Observe,
+// then apply each pair's writes through procfs.  Best effort: on a
+// vanilla kernel the file does not exist and the balancer is inert, as
+// in reality.  Moves counts the pairs whose writes took effect.
+func (d *Dynamic) OnIteration(ev mpisim.IterationEvent) {
+	acts := d.Observe(ev.ComputeCycles, ev.Arrival, ev.Release)
+	for i := 0; i+1 < len(acts); i += 2 {
+		if !ev.ApplyPriority(acts[i].Rank, acts[i].Prio) {
+			continue
+		}
+		if !ev.ApplyPriority(acts[i+1].Rank, acts[i+1].Prio) {
+			continue
+		}
+		d.Moves++
 	}
-	// Best effort: on a vanilla kernel the file does not exist and the
-	// balancer is inert, as in reality.
-	if err := ev.Kernel.WriteHMTPriority(ev.PIDs[a], pa); err != nil {
-		return
-	}
-	if err := ev.Kernel.WriteHMTPriority(ev.PIDs[b], pb); err != nil {
-		return
-	}
-	d.Moves++
 }

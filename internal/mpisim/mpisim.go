@@ -110,6 +110,17 @@ type IterationEvent struct {
 	PIDs []int
 }
 
+// ApplyPriority writes the rank's hardware thread priority through the
+// kernel's procfs interface — the only path by which an online balancer
+// may act, so a vanilla kernel (no procfs file) correctly makes every
+// policy inert.  It reports whether the write took effect.
+func (ev IterationEvent) ApplyPriority(rank int, prio hwpri.Priority) bool {
+	if rank < 0 || rank >= len(ev.PIDs) || ev.Kernel == nil {
+		return false
+	}
+	return ev.Kernel.WriteHMTPriority(ev.PIDs[rank], prio) == nil
+}
+
 // Config parameterizes a run.
 type Config struct {
 	// Chip configures the simulated processor; zero value means

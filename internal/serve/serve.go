@@ -123,6 +123,10 @@ type RunRequest struct {
 	// "chip.core.context[@prio]" triples.  At most one may be set.
 	Placement *Placement `json:"placement,omitempty"`
 	Pin       string     `json:"pin,omitempty"`
+	// Policy attaches an online balancing policy to the run, in
+	// ParsePolicy syntax — e.g. "dyn,maxdiff=2", "hier", "feedback".
+	// Empty means no policy (the static launch priorities are final).
+	Policy string `json:"policy,omitempty"`
 }
 
 // RankResult is one rank's outcome on the wire.
@@ -139,11 +143,16 @@ type RankResult struct {
 
 // RunResponse is the POST /v1/run reply.
 type RunResponse struct {
-	Seconds      float64      `json:"seconds"`
-	Cycles       int64        `json:"cycles"`
-	ImbalancePct float64      `json:"imbalance_pct"`
-	Iterations   int          `json:"iterations"`
-	Ranks        []RankResult `json:"ranks"`
+	Seconds      float64 `json:"seconds"`
+	Cycles       int64   `json:"cycles"`
+	ImbalancePct float64 `json:"imbalance_pct"`
+	Iterations   int     `json:"iterations"`
+	// Policy is the resolved canonical identity of the balancing policy
+	// the run executed under ("static" when none was attached).
+	Policy string `json:"policy"`
+	// BalancerMoves counts the priority rewrites the policy applied.
+	BalancerMoves int          `json:"balancer_moves"`
+	Ranks         []RankResult `json:"ranks"`
 }
 
 // SweepSpace selects the search space on the wire.
@@ -153,6 +162,10 @@ type SweepSpace struct {
 	Alphabet   string `json:"alphabet,omitempty"`
 	Priorities []int  `json:"priorities,omitempty"`
 	FixPairing bool   `json:"fix_pairing,omitempty"`
+	// Policies adds a balancing-policy axis: each entry is a ParsePolicy
+	// specification, and the ranking covers every policy × placement ×
+	// priority configuration (the stream's entries carry a policy field).
+	Policies []string `json:"policies,omitempty"`
 }
 
 // SweepObjective weights the ranking objective; the zero value minimizes
@@ -173,7 +186,10 @@ type SweepRequest struct {
 // SweepEntryJSON is one ranked configuration, one NDJSON chunk of the
 // sweep stream.
 type SweepEntryJSON struct {
-	Rank         int     `json:"rank"`
+	Rank int `json:"rank"`
+	// Policy identifies the entry's balancing policy on policy-axis
+	// sweeps; omitted otherwise.
+	Policy       string  `json:"policy,omitempty"`
 	CPUs         []int   `json:"cpus"`
 	Priorities   []int   `json:"priorities"`
 	Cycles       int64   `json:"cycles"`
@@ -379,9 +395,16 @@ func (s *server) run(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	var pol smtbalance.Policy
+	if req.Policy != "" {
+		if pol, err = smtbalance.ParsePolicy(req.Policy); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 	defer cancel()
-	res, err := s.m.Run(ctx, job, pl)
+	res, err := s.m.RunPolicy(ctx, job, pl, pol)
 	if err != nil {
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
@@ -393,11 +416,17 @@ func (s *server) run(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	resolved := res.Policy
+	if resolved == "" {
+		resolved = "static" // no policy attached: the launch plan ran as-is
+	}
 	out := RunResponse{
-		Seconds:      res.Seconds,
-		Cycles:       res.Cycles,
-		ImbalancePct: res.ImbalancePct,
-		Iterations:   res.Iterations,
+		Seconds:       res.Seconds,
+		Cycles:        res.Cycles,
+		ImbalancePct:  res.ImbalancePct,
+		Iterations:    res.Iterations,
+		Policy:        resolved,
+		BalancerMoves: res.BalancerMoves,
 	}
 	for _, rr := range res.Ranks {
 		out.Ranks = append(out.Ranks, RankResult{
@@ -436,6 +465,14 @@ func (s *server) sweep(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	space.FixPairing = req.Space.FixPairing
+	for _, spec := range req.Space.Policies {
+		pol, err := smtbalance.ParsePolicy(spec)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		space.Policies = append(space.Policies, pol)
+	}
 	if req.Top < 0 {
 		writeError(w, http.StatusBadRequest, "top must be >= 0, got %d", req.Top)
 		return
@@ -472,6 +509,7 @@ func (s *server) sweep(w http.ResponseWriter, r *http.Request) {
 	for i, e := range res.Entries {
 		entry := SweepEntryJSON{
 			Rank:         i + 1,
+			Policy:       e.Policy,
 			CPUs:         e.Placement.CPU,
 			Cycles:       e.Cycles,
 			Seconds:      e.Seconds,

@@ -255,3 +255,114 @@ func TestSweepRejectsBadSpace(t *testing.T) {
 		t.Errorf("odd-rank sweep returned %d: %s", resp.StatusCode, data)
 	}
 }
+
+// iterRunBody is an iterative imbalanced job with enough barriers for an
+// online policy to act.
+const iterRunBody = `{
+  "job": {"name": "iter", "ranks": [
+    [{"compute": {"kind": "fpu", "n": 3000}}, {"barrier": true},
+     {"compute": {"kind": "fpu", "n": 3000}}, {"barrier": true},
+     {"compute": {"kind": "fpu", "n": 3000}}, {"barrier": true},
+     {"compute": {"kind": "fpu", "n": 3000}}, {"barrier": true},
+     {"compute": {"kind": "fpu", "n": 3000}}, {"barrier": true},
+     {"compute": {"kind": "fpu", "n": 3000}}, {"barrier": true}],
+    [{"compute": {"kind": "fpu", "n": 12000}}, {"barrier": true},
+     {"compute": {"kind": "fpu", "n": 12000}}, {"barrier": true},
+     {"compute": {"kind": "fpu", "n": 12000}}, {"barrier": true},
+     {"compute": {"kind": "fpu", "n": 12000}}, {"barrier": true},
+     {"compute": {"kind": "fpu", "n": 12000}}, {"barrier": true},
+     {"compute": {"kind": "fpu", "n": 12000}}, {"barrier": true}]
+  ]}`
+
+// TestRunPolicyRoundTrip covers the run schema's policy axis: the
+// response must name the resolved policy and count its moves, both with
+// and without a policy in the request.
+func TestRunPolicyRoundTrip(t *testing.T) {
+	ts := newTestServer(t, Config{})
+
+	// Without a policy: the static launch plan is final.
+	resp, data := postJSON(t, ts.URL+"/v1/run", iterRunBody+`}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run returned %d: %s", resp.StatusCode, data)
+	}
+	var static RunResponse
+	if err := json.Unmarshal(data, &static); err != nil {
+		t.Fatalf("bad run response: %v\n%s", err, data)
+	}
+	if static.Policy != "static" || static.BalancerMoves != 0 {
+		t.Errorf("policy-less run reported policy %q, %d moves", static.Policy, static.BalancerMoves)
+	}
+
+	// With the paper's dynamic policy: moves happen, the run speeds up,
+	// and the response names the resolved policy with its parameters.
+	resp, data = postJSON(t, ts.URL+"/v1/run", iterRunBody+`, "policy": "dyn,maxdiff=2"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("policy run returned %d: %s", resp.StatusCode, data)
+	}
+	var dyn RunResponse
+	if err := json.Unmarshal(data, &dyn); err != nil {
+		t.Fatalf("bad policy run response: %v\n%s", err, data)
+	}
+	if dyn.Policy != "dyn(hysteresis=2,maxdiff=2,threshold=0.05)" {
+		t.Errorf("resolved policy = %q", dyn.Policy)
+	}
+	if dyn.BalancerMoves == 0 {
+		t.Error("policy run reported zero balancer moves")
+	}
+	if dyn.Cycles >= static.Cycles {
+		t.Errorf("policy run (%d cycles) not faster than static (%d)", dyn.Cycles, static.Cycles)
+	}
+
+	// A bad policy specification is a client error.
+	resp, data = postJSON(t, ts.URL+"/v1/run", iterRunBody+`, "policy": "nosuch"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad policy returned %d: %s", resp.StatusCode, data)
+	}
+	var e errorJSON
+	if err := json.Unmarshal(data, &e); err != nil || !strings.Contains(e.Error, "unknown policy") {
+		t.Errorf("bad policy error = %q (%v)", e.Error, err)
+	}
+}
+
+// TestSweepPoliciesRoundTrip covers the sweep schema's policy axis.
+func TestSweepPoliciesRoundTrip(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	body := iterRunBody + `,
+  "space": {"priorities": [4], "fix_pairing": true, "policies": ["static", "dyn", "feedback"]},
+  "objective": {"imbalance_weight": 1}}`
+	resp, data := postJSON(t, ts.URL+"/v1/sweep", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep returned %d: %s", resp.StatusCode, data)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 4 { // 3 entries + done
+		t.Fatalf("sweep streamed %d chunks, want 4:\n%s", len(lines), data)
+	}
+	policies := map[string]bool{}
+	for _, ln := range lines[:3] {
+		var e SweepEntryJSON
+		if err := json.Unmarshal([]byte(ln), &e); err != nil {
+			t.Fatalf("bad sweep entry: %v\n%s", err, ln)
+		}
+		if e.Policy == "" {
+			t.Errorf("sweep entry missing policy: %s", ln)
+		}
+		name, _, _ := strings.Cut(e.Policy, "(")
+		policies[name] = true
+	}
+	for _, want := range []string{"static", "dyn", "feedback"} {
+		if !policies[want] {
+			t.Errorf("policy %q missing from sweep stream (have %v)", want, policies)
+		}
+	}
+	var done SweepDone
+	if err := json.Unmarshal([]byte(lines[3]), &done); err != nil || !done.Done || done.Evaluated != 3 {
+		t.Errorf("sweep terminal chunk = %s (%v)", lines[3], err)
+	}
+
+	// Unknown policy in the list: client error before any simulation.
+	resp, data = postJSON(t, ts.URL+"/v1/sweep", iterRunBody+`, "space": {"policies": ["bogus"]}}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad sweep policy returned %d: %s", resp.StatusCode, data)
+	}
+}

@@ -109,7 +109,7 @@ func TestSweepCtxRunFnOverride(t *testing.T) {
 	}
 	var hits atomic.Int64
 	res, err := SweepCtx(context.Background(), job, points, Options{
-		RunFn: func(ctx context.Context, job *mpisim.Job, pl mpisim.Placement, cfg mpisim.Config) (Metrics, error) {
+		RunFn: func(ctx context.Context, _ int, job *mpisim.Job, pl mpisim.Placement, cfg mpisim.Config) (Metrics, error) {
 			hits.Add(1)
 			// A fake but deterministic metric: score by the first rank's CPU.
 			return Metrics{Cycles: int64(pl.CPU[0] + 1), Seconds: 1, ImbalancePct: 0}, nil

@@ -237,6 +237,11 @@ func CoreAssignments(p int, topo power5.Topology) ([][]int, error) {
 // at the public layer) or a smaller alphabet.
 const maxSpacePoints = 1 << 20
 
+// MaxSpacePoints exposes the enumeration cap so callers multiplying the
+// point space by further axes (the public policy axis) can keep the
+// combined configuration count under the same guard.
+const MaxSpacePoints = maxSpacePoints
+
 // Enumerate lists the full space for n ranks in deterministic order:
 // pairings in Pairings order, for each pairing the core assignments in
 // CoreAssignments order, and for each the cartesian product of the

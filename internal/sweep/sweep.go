@@ -26,10 +26,13 @@ type Options struct {
 	Config mpisim.Config
 	// RunFn, if set, replaces the direct mpisim.RunCtx evaluation of
 	// each point — the hook caching layers use to serve repeated
-	// configurations from memory.  It must be safe for concurrent use
-	// and deterministic in its inputs, or the ranking loses its
+	// configurations from memory, and policy-axis sweeps use to attach
+	// a per-point environment (idx is the point's position in the input
+	// slice, so a caller fanning a cross product through one pool can
+	// recover its extra axes from it).  It must be safe for concurrent
+	// use and deterministic in its inputs, or the ranking loses its
 	// worker-count independence.
-	RunFn func(ctx context.Context, job *mpisim.Job, pl mpisim.Placement, cfg mpisim.Config) (Metrics, error)
+	RunFn func(ctx context.Context, idx int, job *mpisim.Job, pl mpisim.Placement, cfg mpisim.Config) (Metrics, error)
 	// OnProgress, if set, is called after each completed evaluation
 	// with the number of points finished so far and the total.  Calls
 	// are serialized (one at a time), but their order follows run
@@ -105,7 +108,7 @@ func SweepCtx(ctx context.Context, job *mpisim.Job, points []Point, opt Options)
 	obj := opt.Objective.normalize()
 	runFn := opt.RunFn
 	if runFn == nil {
-		runFn = func(ctx context.Context, job *mpisim.Job, pl mpisim.Placement, cfg mpisim.Config) (Metrics, error) {
+		runFn = func(ctx context.Context, _ int, job *mpisim.Job, pl mpisim.Placement, cfg mpisim.Config) (Metrics, error) {
 			res, err := mpisim.RunCtx(ctx, job, pl, cfg)
 			if err != nil {
 				return Metrics{}, err
@@ -121,7 +124,7 @@ func SweepCtx(ctx context.Context, job *mpisim.Job, points []Point, opt Options)
 	results := make([]RunResult, len(points))
 	err := ForEachCtx(ctx, len(points), opt.Workers, func(i int) {
 		rr := RunResult{Index: i, Point: points[i]}
-		met, err := runFn(ctx, job, points[i].Placement(), opt.Config)
+		met, err := runFn(ctx, i, job, points[i].Placement(), opt.Config)
 		if err != nil {
 			rr.Err = err
 		} else {

@@ -2,6 +2,7 @@ package smtbalance
 
 import (
 	"context"
+	"crypto/sha256"
 	"errors"
 	"fmt"
 	"iter"
@@ -40,7 +41,10 @@ type Machine struct {
 // caches).  The options are copied; later mutation of opts does not
 // affect the Machine.  Options.OnIteration, if set, disables result
 // caching for Run calls (the callback must observe every iteration), and
-// is rejected by Sweep as before.
+// is rejected by Sweep as before.  Options.Policy attaches a balancing
+// policy to every run — including sweeps and Optimize, whose whole space
+// then evaluates under it; RunPolicy overrides it per call, and sweeps
+// over several policies use Space.Policies on a policy-less machine.
 func NewMachine(opts *Options) (*Machine, error) {
 	var o Options
 	if opts != nil {
@@ -49,6 +53,9 @@ func NewMachine(opts *Options) (*Machine, error) {
 	o.Topology = o.Topology.normalized()
 	if err := o.Topology.Validate(); err != nil {
 		return nil, fmt.Errorf("smtbalance: invalid Options.Topology: %w", err)
+	}
+	if _, err := o.resolvePolicy(); err != nil {
+		return nil, err
 	}
 	return &Machine{opts: o, cache: newResultCache()}, nil
 }
@@ -98,26 +105,45 @@ func ctxErrOf(ctx context.Context, err error) error {
 	return err
 }
 
-// Run executes the job under the placement on this machine.  Identical
-// (job, placement) runs are served from the result cache unless
+// Run executes the job under the placement on this machine, with the
+// machine's configured balancing policy (Options.Policy, or the
+// deprecated DynamicBalance knob) attached.  Identical (job, placement,
+// policy) runs are served from the result cache unless
 // Options.OnIteration is set.  Cancelling ctx aborts the simulation
 // promptly with ctx.Err().
 func (m *Machine) Run(ctx context.Context, job Job, pl Placement) (*Result, error) {
+	pol, err := m.opts.resolvePolicy()
+	if err != nil {
+		return nil, err
+	}
+	return m.runPolicy(ctx, job, pl, pol)
+}
+
+// RunPolicy is Run with an explicit balancing policy, overriding the
+// machine's configured one for this call (nil runs without a policy).
+// It is the per-request form the serve API and policy sweeps use: one
+// Machine, one cache, many policies.
+func (m *Machine) RunPolicy(ctx context.Context, job Job, pl Placement, pol Policy) (*Result, error) {
+	return m.runPolicy(ctx, job, pl, pol)
+}
+
+// runPolicy executes one run under an already-resolved policy.
+func (m *Machine) runPolicy(ctx context.Context, job Job, pl Placement, pol Policy) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if err := pl.validate(m.opts.Topology); err != nil {
 		return nil, err
 	}
-	cacheable := m.opts.OnIteration == nil
+	cacheable := m.opts.OnIteration == nil && policyCacheable(pol)
 	var key cacheKey
 	if cacheable {
-		key = placementKey(envJobKey(m.opts.Topology, m.opts, job), pl.CPU, prioInts(pl.Priority))
+		key = placementKey(envJobKey(m.opts.Topology, m.opts, pol, job), pl.CPU, prioInts(pl.Priority))
 		if res, ok := m.cache.getRun(key); ok {
 			return res, nil
 		}
 	}
-	res, err := runSim(ctx, job, pl, &m.opts)
+	res, err := runSim(ctx, job, pl, &m.opts, pol)
 	if err != nil {
 		return nil, ctxErrOf(ctx, err)
 	}
@@ -154,7 +180,9 @@ func validateSweepJob(job Job, t Topology) error {
 	return nil
 }
 
-// sweepAll evaluates the whole space and returns the final ranking.
+// sweepAll evaluates the whole space — the cross product of the
+// placement × priority points with Space.Policies, when set — and
+// returns the final ranking.
 func (m *Machine) sweepAll(ctx context.Context, job Job, space Space, opts *SweepOptions) (*SweepResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -166,10 +194,32 @@ func (m *Machine) sweepAll(ctx context.Context, job Job, space Space, opts *Swee
 		return nil, fmt.Errorf("smtbalance: SweepOptions.Run must be nil for Machine sweeps; the Machine fixes the environment (build a second Machine instead)")
 	}
 	if m.opts.DynamicBalance || m.opts.OnIteration != nil {
-		return nil, fmt.Errorf("smtbalance: DynamicBalance/OnIteration are not supported in sweeps")
+		return nil, fmt.Errorf("smtbalance: the deprecated DynamicBalance knob and OnIteration are not supported in sweeps; set Options.Policy or list policies in Space.Policies")
 	}
 	if err := validateSweepJob(job, m.opts.Topology); err != nil {
 		return nil, err
+	}
+	pols := space.Policies
+	if m.opts.Policy != nil {
+		// A machine-level policy is the environment: every point runs
+		// under it (so Optimize works on a policy machine).  Ranking
+		// several policies needs a policy-less machine, where the axis
+		// belongs to the space.
+		if len(pols) > 0 {
+			return nil, fmt.Errorf("smtbalance: the machine already fixes policy %q; Space.Policies must be empty (use a policy-less Machine to rank policies)", PolicyID(m.opts.Policy))
+		}
+		pols = []Policy{m.opts.Policy}
+	}
+	for i, pol := range pols {
+		if pol == nil {
+			return nil, fmt.Errorf("smtbalance: Space.Policies[%d] is nil; use StaticPolicy{} for the no-balancing control", i)
+		}
+		if _, ok := pol.(PolicyBinder); !ok {
+			return nil, fmt.Errorf("smtbalance: policy %q does not implement PolicyBinder; sweep runs execute concurrently and need a fresh per-run instance", PolicyID(pol))
+		}
+	}
+	if len(pols) == 0 {
+		pols = []Policy{nil} // today's policy-less sweep, byte-identical
 	}
 	n := len(job.Ranks)
 	sp := sweep.Space{Topology: m.opts.Topology.inner()}
@@ -193,21 +243,57 @@ func (m *Machine) sweepAll(ctx context.Context, job Job, space Space, opts *Swee
 	if err != nil {
 		return nil, err
 	}
-	base := envJobKey(m.opts.Topology, m.opts, job)
-	res, err := sweep.SweepCtx(ctx, job.inner(), points, sweep.Options{
+
+	// Fan the whole policy × placement × priority cross product through
+	// one worker pool: point i under policy p is combined index
+	// p*len(points)+i, so a small point space still parallelizes across
+	// policies, scores normalize against the global fastest run, and
+	// the engine's total order (Score, Cycles, Index) ranks the merged
+	// space deterministically — policy order is the outer tiebreak.
+	combined := points
+	if len(pols) > 1 {
+		// The policy axis multiplies the space, so the enumeration cap
+		// must hold for the product, not just the point count.
+		if len(points) > sweep.MaxSpacePoints/len(pols) {
+			return nil, fmt.Errorf("smtbalance: %d placement points × %d policies exceeds the %d-configuration sweep cap; shrink the space (FixPairing, smaller alphabet) or the policy list",
+				len(points), len(pols), sweep.MaxSpacePoints)
+		}
+		combined = make([]sweep.Point, 0, len(points)*len(pols))
+		for range pols {
+			combined = append(combined, points...)
+		}
+	}
+	polIDs := make([]string, len(pols))
+	bases := make([][sha256.Size]byte, len(pols))
+	for i, pol := range pols {
+		polIDs[i] = PolicyID(pol)
+		bases[i] = envJobKey(m.opts.Topology, m.opts, pol, job)
+	}
+	res, err := sweep.SweepCtx(ctx, job.inner(), combined, sweep.Options{
 		Workers:    opts.Workers,
 		Top:        opts.Top,
 		Objective:  opts.Objective.inner(),
 		Config:     m.opts.simConfig(),
 		OnProgress: opts.Progress,
-		RunFn: func(ctx context.Context, ijob *mpisim.Job, ipl mpisim.Placement, cfg mpisim.Config) (sweep.Metrics, error) {
+		RunFn: func(ctx context.Context, idx int, ijob *mpisim.Job, ipl mpisim.Placement, cfg mpisim.Config) (sweep.Metrics, error) {
+			pol := pols[idx/len(points)]
 			prios := make([]int, len(ipl.Prio))
 			for i, p := range ipl.Prio {
 				prios[i] = int(p)
 			}
-			key := placementKey(base, ipl.CPU, prios)
+			key := placementKey(bases[idx/len(points)], ipl.CPU, prios)
 			if met, ok := m.cache.getMetrics(key); ok {
 				return met, nil
+			}
+			if pol != nil {
+				// Attach a fresh policy instance to this run's private
+				// config copy; the hook applies the policy's actions
+				// through the simulated procfs.
+				pl := Placement{CPU: ipl.CPU}
+				for _, p := range ipl.Prio {
+					pl.Priority = append(pl.Priority, Priority(p))
+				}
+				policyHook(&cfg, pol, m.opts.Topology, pl, nil)
 			}
 			r, err := mpisim.RunCtx(ctx, ijob, ipl, cfg)
 			if err != nil {
@@ -236,13 +322,15 @@ func (m *Machine) sweepAll(ctx context.Context, job Job, space Space, opts *Swee
 		for _, p := range ipl.Prio {
 			pl.Priority = append(pl.Priority, Priority(p))
 		}
-		out.Entries = append(out.Entries, SweepEntry{
+		entry := SweepEntry{
 			Placement:    pl,
+			Policy:       polIDs[rr.Index/len(points)],
 			Cycles:       rr.Metrics.Cycles,
 			Seconds:      rr.Metrics.Seconds,
 			ImbalancePct: rr.Metrics.ImbalancePct,
 			Score:        rr.Score,
-		})
+		}
+		out.Entries = append(out.Entries, entry)
 	}
 	return out, nil
 }
@@ -362,6 +450,39 @@ func (s *Session) Optimize(ctx context.Context, objective Objective) (Placement,
 	s.last = res
 	s.mu.Unlock()
 	return pl, res, nil
+}
+
+// Balance runs the paper's iterative profile → re-place → retune loop
+// in one call, with an online balancing policy closing the loop: if the
+// session has no completed run yet, the job is first profiled pinned in
+// order at medium priority (the paper's Case A); the observed per-rank
+// compute shares then become the static placement SuggestFromLast
+// derives; and the job runs under that placement with pol attached,
+// retuning priorities online as the load shifts.  The run is recorded as
+// the session's last result, so calling Balance again iterates the
+// loop on fresher profiles.  A nil policy runs the static plan alone.
+func (s *Session) Balance(ctx context.Context, pol Policy) (*Result, error) {
+	if s.Last() == nil {
+		pl, err := s.m.opts.Topology.PinInOrder(len(s.job.Ranks))
+		if err != nil {
+			return nil, err
+		}
+		if _, err := s.Run(ctx, pl); err != nil {
+			return nil, err
+		}
+	}
+	pl, err := s.SuggestFromLast()
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.m.RunPolicy(ctx, s.job, pl, pol)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.last = res
+	s.mu.Unlock()
+	return res, nil
 }
 
 // SuggestFromLast derives the next placement to try from the last run:

@@ -350,3 +350,72 @@ func TestSessionIterativeWorkflow(t *testing.T) {
 		t.Error("session accessors broken")
 	}
 }
+
+// TestSuggestFromLastEdgeCases covers the profile-derived planner's
+// degenerate inputs: no run yet, zero and equal compute shares, and
+// single-rank jobs (which cannot pair on an SMT core).
+func TestSuggestFromLastEdgeCases(t *testing.T) {
+	m, err := NewMachine(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Before any run: a descriptive error, not a zero placement.
+	s := m.NewSession(sweepTestJob(1000, 2000))
+	if _, err := s.SuggestFromLast(); err == nil || !strings.Contains(err.Error(), "no completed run") {
+		t.Errorf("SuggestFromLast before any run: err = %v", err)
+	}
+
+	// withShares fabricates a session whose last profile observed the
+	// given per-rank compute shares.
+	withShares := func(shares ...float64) *Session {
+		res := &Result{}
+		for i, sh := range shares {
+			res.Ranks = append(res.Ranks, RankSummary{CPU: i, ComputePct: sh})
+		}
+		s := m.NewSession(sweepTestJob(1000, 2000))
+		s.last = res
+		return s
+	}
+
+	// Equal shares: a valid plan with no priority skew anywhere.
+	pl, err := withShares(25, 25, 25, 25).SuggestFromLast()
+	if err != nil {
+		t.Fatalf("equal shares: %v", err)
+	}
+	for r, p := range pl.Priority {
+		if p != PriorityMedium {
+			t.Errorf("equal shares: rank %d planned at %v, want medium", r, p)
+		}
+	}
+
+	// All-zero shares (e.g. a communication-only profile): still a valid
+	// full placement at neutral priorities, not a crash or a skew.
+	pl, err = withShares(0, 0, 0, 0).SuggestFromLast()
+	if err != nil {
+		t.Fatalf("zero shares: %v", err)
+	}
+	if len(pl.CPU) != 4 || len(pl.Priority) != 4 {
+		t.Fatalf("zero shares: placement %v", pl)
+	}
+	seen := map[int]bool{}
+	for r, cpu := range pl.CPU {
+		if seen[cpu] {
+			t.Errorf("zero shares: CPU %d pinned twice", cpu)
+		}
+		seen[cpu] = true
+		if pl.Priority[r] != PriorityMedium {
+			t.Errorf("zero shares: rank %d planned at %v, want medium", r, pl.Priority[r])
+		}
+	}
+
+	// A single rank cannot pair on a 2-way SMT core: descriptive error.
+	if _, err := withShares(100).SuggestFromLast(); err == nil {
+		t.Error("single-rank SuggestFromLast succeeded")
+	}
+
+	// Odd rank counts are the same failure mode.
+	if _, err := withShares(50, 30, 20).SuggestFromLast(); err == nil {
+		t.Error("odd-rank SuggestFromLast succeeded")
+	}
+}

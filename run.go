@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"io"
 
-	"repro/internal/core"
 	"repro/internal/hwpri"
 	"repro/internal/mpisim"
 	"repro/internal/oskernel"
@@ -155,13 +154,30 @@ type Options struct {
 	NoOSNoise bool
 	// ColdCaches skips the steady-state cache pre-warming.
 	ColdCaches bool
+	// Policy attaches an online balancing policy: at every barrier
+	// release the policy observes the iteration and its requested
+	// priority rewrites are applied through the patched kernel's procfs
+	// interface (so a VanillaKernel run makes every policy inert).  See
+	// the Policy interface, the built-ins (StaticPolicy, PaperDynamic,
+	// HierarchicalPolicy, FeedbackPolicy) and ParsePolicy.  Setting both
+	// Policy and the deprecated DynamicBalance is an error.
+	Policy Policy
 	// DynamicBalance attaches the online OS-level balancer (the paper's
 	// Section VIII proposal): it watches per-iteration computation times
 	// and retunes priorities through the procfs interface.
+	//
+	// Deprecated: DynamicBalance is the pre-policy spelling of
+	// Policy: &PaperDynamic{MaxDiff: MaxPriorityDiff} and resolves to
+	// exactly that policy; results are identical.  New code should set
+	// Policy.
 	DynamicBalance bool
 	// MaxPriorityDiff bounds the dynamic balancer's priority difference
 	// (default 1; the paper's Case D shows why large differences are
 	// dangerous).
+	//
+	// Deprecated: MaxPriorityDiff parameterizes the deprecated
+	// DynamicBalance knob only; set Policy: &PaperDynamic{MaxDiff: n}
+	// instead.
 	MaxPriorityDiff int
 	// OnIteration, if set, is called at every barrier release.
 	OnIteration func(IterationStats)
@@ -196,8 +212,14 @@ type Result struct {
 	Ranks []RankSummary
 	// Iterations is the number of barrier releases.
 	Iterations int
-	// BalancerMoves counts priority rewrites by the dynamic balancer.
+	// BalancerMoves counts the priority rewrites the run's balancing
+	// policy applied (writes that actually changed a rank's priority;
+	// zero without a policy or on a vanilla kernel, where the procfs
+	// path does not exist).
 	BalancerMoves int
+	// Policy is the canonical identity (PolicyID) of the balancing
+	// policy that ran, "" if none was attached.
+	Policy string
 
 	tr *trace.Trace
 }
@@ -274,38 +296,96 @@ func Run(job Job, pl Placement, opts *Options) (*Result, error) {
 	return m.Run(context.Background(), job, pl)
 }
 
-// runSim executes one simulation under the options, uncached.  The
-// placement must already be validated against opts.Topology.
-func runSim(ctx context.Context, job Job, pl Placement, opts *Options) (*Result, error) {
+// resolvePolicy returns the run's balancing policy (nil means none),
+// honoring the deprecated DynamicBalance/MaxPriorityDiff knobs, which
+// resolve to the extracted PaperDynamic built-in with identical
+// behavior.
+func (opts *Options) resolvePolicy() (Policy, error) {
+	if opts.Policy != nil {
+		if opts.DynamicBalance {
+			return nil, fmt.Errorf("smtbalance: Options.Policy and the deprecated Options.DynamicBalance are mutually exclusive")
+		}
+		return opts.Policy, nil
+	}
+	if opts.DynamicBalance {
+		return &PaperDynamic{MaxDiff: opts.MaxPriorityDiff}, nil
+	}
+	return nil, nil
+}
+
+// policyCacheable reports whether runs under pol may be memoized: a nil
+// policy is trivially deterministic, and a PolicyBinder starts every run
+// from a fresh bound instance.  A bare Policy may carry hidden cross-run
+// state, so its runs are never cached.
+func policyCacheable(pol Policy) bool {
+	if pol == nil {
+		return true
+	}
+	_, ok := pol.(PolicyBinder)
+	return ok
+}
+
+// stats converts the simulator's iteration event to the public form.
+func stats(ev mpisim.IterationEvent) IterationStats {
+	return IterationStats{
+		Index:         ev.Index,
+		ComputeCycles: ev.ComputeCycles,
+		ArrivalCycle:  ev.Arrival,
+		ReleaseCycle:  ev.Release,
+	}
+}
+
+// policyHook installs pol's observe→apply loop (and the caller's
+// OnIteration callback, chained after it) as cfg.OnIteration.  Every
+// action the policy returns is validated and applied through the
+// kernel's procfs path — the only mechanism by which any balancer may
+// act, so VanillaKernel runs leave all actions inert, exactly as on real
+// hardware without the paper's patch.  The returned counter accumulates
+// applied writes that changed a rank's priority (Result.BalancerMoves);
+// it is nil when neither hook is needed.
+func policyHook(cfg *mpisim.Config, pol Policy, topo Topology, pl Placement, onIter func(IterationStats)) *int {
+	if pol == nil && onIter == nil {
+		return nil
+	}
+	run := pol
+	if b, ok := pol.(PolicyBinder); ok {
+		run = b.Bind(topo, pl)
+	}
+	moves := new(int)
+	cur := append([]Priority(nil), pl.Priority...)
+	cfg.OnIteration = func(ev mpisim.IterationEvent) {
+		if run != nil {
+			for _, act := range run.Observe(stats(ev)) {
+				if act.Rank < 0 || act.Rank >= len(cur) || !act.Priority.Valid() {
+					continue // a buggy custom policy must not crash the run
+				}
+				if !ev.ApplyPriority(act.Rank, hwpri.Priority(act.Priority)) {
+					continue
+				}
+				if cur[act.Rank] != act.Priority {
+					cur[act.Rank] = act.Priority
+					*moves++
+				}
+			}
+		}
+		if onIter != nil {
+			onIter(stats(ev))
+		}
+	}
+	return moves
+}
+
+// runSim executes one simulation under the options with the resolved
+// balancing policy, uncached.  The placement must already be validated
+// against opts.Topology.
+func runSim(ctx context.Context, job Job, pl Placement, opts *Options, pol Policy) (*Result, error) {
 	inner := job.inner()
 	ipl, err := pl.inner()
 	if err != nil {
 		return nil, err
 	}
 	cfg := opts.simConfig()
-	var bal *core.Dynamic
-	if opts.DynamicBalance {
-		maxDiff := opts.MaxPriorityDiff
-		if maxDiff <= 0 {
-			maxDiff = 1
-		}
-		bal = core.NewDynamic(core.DynamicConfig{CPU: pl.CPU, MaxDiff: maxDiff})
-	}
-	if bal != nil || opts.OnIteration != nil {
-		cfg.OnIteration = func(ev mpisim.IterationEvent) {
-			if bal != nil {
-				bal.OnIteration(ev)
-			}
-			if opts.OnIteration != nil {
-				opts.OnIteration(IterationStats{
-					Index:         ev.Index,
-					ComputeCycles: ev.ComputeCycles,
-					ArrivalCycle:  ev.Arrival,
-					ReleaseCycle:  ev.Release,
-				})
-			}
-		}
-	}
+	moves := policyHook(&cfg, pol, opts.Topology, pl, opts.OnIteration)
 	res, err := mpisim.RunCtx(ctx, inner, ipl, cfg)
 	if err != nil {
 		return nil, err
@@ -315,10 +395,11 @@ func runSim(ctx context.Context, job Job, pl Placement, opts *Options) (*Result,
 		Cycles:       res.Cycles,
 		ImbalancePct: res.Imbalance,
 		Iterations:   res.Iterations,
+		Policy:       PolicyID(pol),
 		tr:           res.Trace,
 	}
-	if bal != nil {
-		out.BalancerMoves = bal.Moves
+	if moves != nil {
+		out.BalancerMoves = *moves
 	}
 	for _, rr := range res.Ranks {
 		out.Ranks = append(out.Ranks, RankSummary{

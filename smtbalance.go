@@ -22,8 +22,14 @@
 //     time, per-rank computation/synchronization shares, the imbalance
 //     percentage) and a PARAVER-style timeline.
 //   - Let the library balance for you: SuggestPlacement derives a static
-//     priority plan from per-rank work, and Options.DynamicBalance turns
-//     on the online OS-level balancer the paper proposes as future work.
+//     priority plan from per-rank work, and Options.Policy attaches an
+//     online balancing Policy — the paper's Section VIII balancer
+//     (PaperDynamic, the resolution of the deprecated
+//     Options.DynamicBalance knob), a topology-aware two-level balancer
+//     (HierarchicalPolicy), a proportional controller (FeedbackPolicy),
+//     or your own via RegisterPolicy/ParsePolicy.  Space.Policies lets a
+//     sweep rank policies against each other, and Session.Balance closes
+//     the paper's profile → re-place → retune loop in one call.
 //   - Search instead of guessing: Sweep fans every placement × priority
 //     configuration out across a worker pool and ranks them by a
 //     pluggable objective, and OptimizePlacement returns the best

@@ -29,6 +29,16 @@ type Space struct {
 	// priorities may move.  On multi-chip topologies this fixes the
 	// core map too: the pairs stay on cores 0..n/2-1.
 	FixPairing bool
+	// Policies, when non-empty, adds a balancing-policy axis: every
+	// placement × priority point is evaluated once per policy, with a
+	// fresh per-run policy instance attached, and the ranking covers the
+	// full policy × placement × priority cross product (SweepEntry.Policy
+	// identifies each entry's policy).  Policies must implement
+	// PolicyBinder; use StaticPolicy{} as the no-balancing control.  An
+	// empty slice sweeps under the machine's own Options.Policy when one
+	// is set, and with no policy at all otherwise — Policies may only be
+	// non-empty on a policy-less machine.
+	Policies []Policy
 }
 
 // UserSettableSpace is the space reachable without any kernel support:
@@ -91,10 +101,11 @@ type SweepOptions struct {
 	// Run is the per-run simulation environment — only consulted by the
 	// deprecated package-level Sweep and OptimizePlacement wrappers,
 	// which build a Machine from it.  Machine.Sweep rejects a non-nil
-	// Run: the Machine already fixes the environment.  DynamicBalance
-	// and OnIteration are rejected in every sweep: runs execute
-	// concurrently, and the sweep's whole point is searching static
-	// configurations.
+	// Run: the Machine already fixes the environment.  Machine-level
+	// balancing (Policy, the deprecated DynamicBalance) and OnIteration
+	// are rejected in every sweep — runs execute concurrently, and the
+	// policy axis belongs to Space.Policies, where each run gets its
+	// own bound instance.
 	Run *Options
 	// Progress, if set, observes the evaluation as it runs with
 	// (evaluated, total) configuration counts.  Calls are serialized
@@ -106,6 +117,9 @@ type SweepOptions struct {
 type SweepEntry struct {
 	// Placement is the configuration (CPU map and priorities).
 	Placement Placement
+	// Policy is the canonical identity (PolicyID) of the balancing
+	// policy this entry ran under; "" when the sweep had no policy axis.
+	Policy string
 	// Cycles, Seconds and ImbalancePct are the run's metrics.
 	Cycles       int64
 	Seconds      float64
@@ -136,9 +150,23 @@ func (r *SweepResult) Best() (SweepEntry, error) {
 }
 
 // WriteCSV writes the ranking as CSV with a header row:
-// rank,cpus,priorities,cycles,seconds,imbalance_pct,score.
+// rank,cpus,priorities,cycles,seconds,imbalance_pct,score.  Sweeps over
+// Space.Policies gain a policy column after rank (header
+// rank,policy,cpus,...); policy-less rankings keep the original shape
+// byte for byte.
 func (r *SweepResult) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "rank,cpus,priorities,cycles,seconds,imbalance_pct,score"); err != nil {
+	withPolicy := false
+	for _, e := range r.Entries {
+		if e.Policy != "" {
+			withPolicy = true
+			break
+		}
+	}
+	header := "rank,cpus,priorities,cycles,seconds,imbalance_pct,score"
+	if withPolicy {
+		header = "rank,policy,cpus,priorities,cycles,seconds,imbalance_pct,score"
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
 		return err
 	}
 	for i, e := range r.Entries {
@@ -150,8 +178,15 @@ func (r *SweepResult) WriteCSV(w io.Writer) error {
 		for j, p := range e.Placement.Priority {
 			prios[j] = fmt.Sprint(int(p))
 		}
-		_, err := fmt.Fprintf(w, "%d,%s,%s,%d,%.9f,%.4f,%.6f\n",
-			i+1, strings.Join(cpus, " "), strings.Join(prios, " "),
+		policyCol := ""
+		if withPolicy {
+			// Policy IDs contain commas between parameters, so the
+			// column is always quoted — RFC 4180 style (inner quotes
+			// doubled), which encoding/csv and spreadsheets both parse.
+			policyCol = `"` + strings.ReplaceAll(e.Policy, `"`, `""`) + `",`
+		}
+		_, err := fmt.Fprintf(w, "%d,%s%s,%s,%d,%.9f,%.4f,%.6f\n",
+			i+1, policyCol, strings.Join(cpus, " "), strings.Join(prios, " "),
 			e.Cycles, e.Seconds, e.ImbalancePct, e.Score)
 		if err != nil {
 			return err
