@@ -62,6 +62,9 @@ func (h *hasher) str(s string) {
 //   - OnIteration: not hashed — its presence disables caching entirely
 //     (Machine.Run), as does a policy that cannot be re-bound per run
 //     (policyCacheable).
+//   - LoadDrift: not hashed — like OnIteration its presence disables
+//     caching entirely (an arbitrary function cannot be hashed, and the
+//     loads it produces are not in the job).
 //
 // Job.Name is deliberately excluded: it labels diagnostics and never
 // reaches the simulated machine, so two jobs differing only in name
@@ -135,6 +138,28 @@ func placementKey(base [sha256.Size]byte, cpu []int, prio []int) cacheKey {
 	}
 	for _, p := range prio {
 		h.i64(int64(p))
+	}
+	return sha256.Sum256(h.buf)
+}
+
+// matrixCellKey hashes one evaluation-matrix cell — the topology, the
+// scenario identity and the ordered policy identities — the
+// scenario-aware key under which a Matrix engine memoizes whole cells.
+// Scenario and policy IDs are canonical (equal ID ⇒ equal behavior), so
+// hashing the rendered IDs length-prefixed is collision-free for the
+// same reason envJobKey's structural policy hash is.
+func matrixCellKey(topo Topology, scenarioID string, policyIDs []string) cacheKey {
+	var h hasher
+	h.tag('M')
+	h.tag('1')
+	topo = topo.normalized()
+	h.i64(int64(topo.Chips))
+	h.i64(int64(topo.CoresPerChip))
+	h.i64(int64(topo.SMTWays))
+	h.str(scenarioID)
+	h.i64(int64(len(policyIDs)))
+	for _, id := range policyIDs {
+		h.str(id)
 	}
 	return sha256.Sum256(h.buf)
 }

@@ -34,6 +34,14 @@
 //	mtbalance sweep -chips 2                # pairs packed vs spread across L2s
 //	mtbalance sweep -space os -objective weighted:1,0.5 -format csv
 //
+// The matrix subcommand evaluates every balancing policy on every
+// synthetic imbalance scenario (ParseScenario shapes: uniform, ramp,
+// step, phaseshift, bursty, bimodal) on every topology, scoring each
+// policy by its speedup over the static control:
+//
+//	mtbalance matrix -scenarios 'uniform;ramp;bursty' -policies 'static;dyn;feedback'
+//	mtbalance matrix -topologies '1x2x2;2x2x2' -format csv
+//
 // The serve subcommand exposes the simulator as an HTTP JSON API — one
 // shared Machine, its result cache answering repeated configurations
 // from memory:
@@ -41,9 +49,10 @@
 //	mtbalance serve -addr localhost:8080
 //	curl -s localhost:8080/healthz
 //	curl -s -X POST localhost:8080/v1/run -d @job.json
+//	curl -s -X POST localhost:8080/v1/matrix -d '{"scenarios":["ramp"],"policies":["static","dyn"]}'
 //
-// Run `mtbalance run -h` / `mtbalance sweep -h` / `mtbalance serve -h`
-// for the full flag lists.
+// Run `mtbalance run -h` / `mtbalance sweep -h` / `mtbalance matrix -h`
+// / `mtbalance serve -h` for the full flag lists.
 package main
 
 import (
@@ -64,6 +73,9 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "serve" {
 		os.Exit(runServe(os.Args[2:]))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "matrix" {
+		os.Exit(runMatrix(os.Args[2:]))
 	}
 	var (
 		experiment = flag.String("experiment", "all", "which experiment to run (table2, table3, table4, table5, table6, figure1, kernelpatch, dynamic, extrinsic, scaling, all)")

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// update regenerates the golden snapshot:
+//
+//	go test ./cmd/mtbalance -run TestMatrixGolden -update
+//
+// Regenerate ONLY when an output change is intended and reviewed: the
+// snapshot is what keeps scenario generation, the evaluation engine and
+// the table rendering from drifting silently.
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// runMatrixCapture drives the exact code path `mtbalance matrix` runs.
+func runMatrixCapture(t *testing.T, args ...string) string {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	if code := matrixMain(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("matrix %v exited %d: %s", args, code, stderr.String())
+	}
+	return stdout.String()
+}
+
+// TestMatrixGolden diffs the default `mtbalance matrix` output against
+// its testdata snapshot, byte for byte.
+func TestMatrixGolden(t *testing.T) {
+	got := runMatrixCapture(t, "-workers", "1")
+	path := filepath.Join("testdata", "matrix.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Log("golden file updated")
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./cmd/mtbalance -run TestMatrixGolden -update` to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("matrix output drifted from %s.\nGot:\n%s\nWant:\n%s\n(regenerate with -update only if the change is intended)",
+			path, got, want)
+	}
+}
+
+// The acceptance criterion: the matrix command is deterministic across
+// worker counts, in both formats.
+func TestMatrixDeterministicAcrossWorkers(t *testing.T) {
+	args := []string{"-scenarios", "uniform,base=6000,iters=3;ramp,base=6000,iters=3;bursty,base=6000,iters=3",
+		"-policies", "static;dyn;feedback"}
+	serial := runMatrixCapture(t, append([]string{"-workers", "1"}, args...)...)
+	pooled := runMatrixCapture(t, append([]string{"-workers", "4"}, args...)...)
+	if serial != pooled {
+		t.Errorf("matrix output differs between -workers 1 and 4:\n%s\nvs\n%s", serial, pooled)
+	}
+	serialCSV := runMatrixCapture(t, append([]string{"-workers", "1", "-format", "csv"}, args...)...)
+	pooledCSV := runMatrixCapture(t, append([]string{"-workers", "4", "-format", "csv"}, args...)...)
+	if serialCSV != pooledCSV {
+		t.Errorf("matrix CSV differs between -workers 1 and 4:\n%s\nvs\n%s", serialCSV, pooledCSV)
+	}
+}
+
+func TestMatrixCSVShape(t *testing.T) {
+	out := runMatrixCapture(t, "-preset", "small", "-format", "csv")
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "topology,scenario,policy,cycles,seconds,imbalance_pct,speedup_vs_static" {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+	if len(lines) != 1+2*2 { // 2 scenarios x 2 policies
+		t.Errorf("small preset CSV has %d lines, want 5", len(lines))
+	}
+}
+
+func TestMatrixBadFlags(t *testing.T) {
+	for name, args := range map[string][]string{
+		"bad scenario": {"-scenarios", "warp"},
+		"bad policy":   {"-policies", "dyn2"},
+		"bad topology": {"-topologies", "0x2x2"},
+		"bad format":   {"-format", "xml"},
+		"bad preset":   {"-preset", "huge"},
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := matrixMain(args, &stdout, &stderr); code == 0 {
+			t.Errorf("%s (%v): exited 0", name, args)
+		}
+	}
+}

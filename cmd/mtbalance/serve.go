@@ -26,6 +26,7 @@ configurations are answered from memory.  Endpoints:
     GET  /healthz    liveness, topology, cache statistics
     POST /v1/run     run one job/placement
     POST /v1/sweep   rank a configuration space (NDJSON stream)
+    POST /v1/matrix  policy x scenario x topology evaluation (NDJSON stream)
 
 Example:
 

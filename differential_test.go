@@ -1,0 +1,270 @@
+package smtbalance
+
+import (
+	"reflect"
+	"strconv"
+	"testing"
+)
+
+// The differential harness runs every registered policy against a seed
+// set of scenarios — one per built-in shape, at reduced scale — and
+// asserts the invariants no balancing policy may break, as table-driven
+// subtests: policy × scenario, each independently addressable with
+// -run 'TestDifferential.*/dyn/step'.
+
+// diffSeedSpecs is the harness's scenario set.
+func diffSeedSpecs() []string {
+	return []string{
+		"uniform,base=5000,iters=4",
+		"ramp,base=5000,iters=4,skew=4",
+		"step,base=5000,iters=4,skew=5",
+		"phaseshift,base=5000,iters=6,period=2",
+		"bursty,base=5000,iters=4,amp=3,seed=7",
+		"bimodal,base=5000,iters=4",
+	}
+}
+
+// diffPolicies resolves every registered policy by name, exactly as a
+// user's -policy flag would.
+func diffPolicies(t *testing.T) map[string]Policy {
+	t.Helper()
+	out := make(map[string]Policy)
+	for _, name := range Policies() {
+		pol, err := ParsePolicy(name)
+		if err != nil {
+			t.Fatalf("registered policy %q does not parse: %v", name, err)
+		}
+		out[name] = pol
+	}
+	return out
+}
+
+// shortScenarioName extracts the shape name for subtest labels.
+func shortScenarioName(spec string) string {
+	for i := range spec {
+		if spec[i] == ',' {
+			return spec[:i]
+		}
+	}
+	return spec
+}
+
+// StaticPolicy emits no actions: a static run's cycles and moves equal
+// a policy-less run's, on every scenario.
+func TestDifferentialStaticEmitsNoActions(t *testing.T) {
+	topo := DefaultTopology()
+	m, err := NewMachine(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range diffSeedSpecs() {
+		t.Run(shortScenarioName(spec), func(t *testing.T) {
+			job, err := mustScenarioJob(t, spec, topo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pl, err := topo.PinInOrder(len(job.Ranks))
+			if err != nil {
+				t.Fatal(err)
+			}
+			bare, err := m.RunPolicy(t.Context(), job, pl, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			static, err := m.RunPolicy(t.Context(), job, pl, StaticPolicy{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if static.BalancerMoves != 0 {
+				t.Errorf("static policy applied %d moves", static.BalancerMoves)
+			}
+			if static.Cycles != bare.Cycles {
+				t.Errorf("static run took %d cycles, policy-less run %d", static.Cycles, bare.Cycles)
+			}
+		})
+	}
+}
+
+// Every policy respects its own maxdiff bound: driving a bound instance
+// with the stats streams real runs produce, the pairwise priority
+// difference it requests never exceeds Params()["maxdiff"], and every
+// requested priority is OS-settable (the procfs path cannot grant more).
+func TestDifferentialPoliciesRespectMaxDiff(t *testing.T) {
+	topo := DefaultTopology()
+	for name, pol := range diffPolicies(t) {
+		binder, ok := pol.(PolicyBinder)
+		if !ok {
+			t.Errorf("registered policy %q does not implement PolicyBinder", name)
+			continue
+		}
+		maxDiff := 4 // architectural ceiling when the policy has no maxdiff param
+		if s, ok := pol.Params()["maxdiff"]; ok {
+			v, err := strconv.Atoi(s)
+			if err != nil {
+				t.Fatalf("%s: bad maxdiff param %q", name, s)
+			}
+			maxDiff = v
+		}
+		for _, spec := range diffSeedSpecs() {
+			t.Run(name+"/"+shortScenarioName(spec), func(t *testing.T) {
+				job, err := mustScenarioJob(t, spec, topo)
+				if err != nil {
+					t.Fatal(err)
+				}
+				n := len(job.Ranks)
+				pl, err := topo.PinInOrder(n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Record the stats stream of a real run under the policy.
+				var stream []IterationStats
+				mObs, err := NewMachine(&Options{OnIteration: func(st IterationStats) {
+					cp := st
+					cp.ComputeCycles = append([]int64(nil), st.ComputeCycles...)
+					cp.ArrivalCycle = append([]int64(nil), st.ArrivalCycle...)
+					stream = append(stream, cp)
+				}, Policy: pol})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := mObs.Run(t.Context(), job, pl); err != nil {
+					t.Fatal(err)
+				}
+				if len(stream) == 0 {
+					t.Fatal("run produced no iterations")
+				}
+				// Re-drive a fresh bound instance with the recorded stream
+				// and audit every action it requests.
+				bound := binder.Bind(topo, pl)
+				prio := append([]Priority(nil), pl.Priority...)
+				for _, st := range stream {
+					for _, act := range bound.Observe(st) {
+						if act.Rank < 0 || act.Rank >= n {
+							t.Fatalf("action names rank %d of %d", act.Rank, n)
+						}
+						if !OSSettable(act.Priority) {
+							t.Fatalf("action asks for priority %d, outside the OS-settable range", act.Priority)
+						}
+						prio[act.Rank] = act.Priority
+					}
+					for c := 0; c < n/2; c++ {
+						a, b := prio[2*c], prio[2*c+1]
+						d := int(a) - int(b)
+						if d < 0 {
+							d = -d
+						}
+						if d > maxDiff {
+							t.Fatalf("core %d pair at priorities %d/%d: difference %d exceeds maxdiff %d",
+								c, a, b, d, maxDiff)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// VanillaKernel disarms every policy: without the paper's procfs patch
+// no action can land, so a vanilla run under any policy is cycle-
+// identical to the vanilla static run — the paper's own argument for
+// the kernel patch, now an invariant.
+func TestDifferentialVanillaKernelDisarms(t *testing.T) {
+	topo := DefaultTopology()
+	job, err := mustScenarioJob(t, "step,base=5000,iters=4,skew=5", topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := topo.PinInOrder(len(job.Ranks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachine(&Options{VanillaKernel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := m.RunPolicy(t.Context(), job, pl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, pol := range diffPolicies(t) {
+		t.Run(name, func(t *testing.T) {
+			res, err := m.RunPolicy(t.Context(), job, pl, pol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.BalancerMoves != 0 {
+				t.Errorf("policy %q moved %d priorities through a vanilla kernel", name, res.BalancerMoves)
+			}
+			if res.Cycles != base.Cycles {
+				t.Errorf("policy %q changed a vanilla run: %d cycles vs %d", name, res.Cycles, base.Cycles)
+			}
+		})
+	}
+}
+
+// Policy-axis sweep results are worker-count deterministic on every
+// seed scenario.
+func TestDifferentialSweepWorkerDeterminism(t *testing.T) {
+	topo := DefaultTopology()
+	m, err := NewMachine(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pols := func() []Policy {
+		return []Policy{StaticPolicy{}, &PaperDynamic{}, &HierarchicalPolicy{}, &FeedbackPolicy{}}
+	}
+	for _, spec := range []string{"step,base=5000,iters=4,skew=5", "phaseshift,base=5000,iters=6"} {
+		t.Run(shortScenarioName(spec), func(t *testing.T) {
+			job, err := mustScenarioJob(t, spec, topo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			space := Space{FixPairing: true, Priorities: []Priority{PriorityMedium}, Policies: pols()}
+			serial, err := m.SweepAll(t.Context(), job, space, &SweepOptions{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pooled, err := m.SweepAll(t.Context(), job, space, &SweepOptions{Workers: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(serial.Entries, pooled.Entries) {
+				t.Errorf("sweep ranking differs across worker counts:\nserial: %+v\npooled: %+v",
+					serial.Entries, pooled.Entries)
+			}
+		})
+	}
+}
+
+// Scenario generation and the full policy evaluation are seed-
+// deterministic end to end: the same bursty seed reproduces the same
+// result bit for bit, a different seed does not.
+func TestDifferentialSeedDeterminism(t *testing.T) {
+	topo := DefaultTopology()
+	m, err := NewMachine(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(seed string) *Result {
+		job, err := mustScenarioJob(t, "bursty,base=5000,iters=4,seed="+seed, topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl, err := topo.PinInOrder(len(job.Ranks))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.RunPolicy(t.Context(), job, pl, &PaperDynamic{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b, c := run("41"), run("41"), run("42")
+	if a.Cycles != b.Cycles || a.ImbalancePct != b.ImbalancePct {
+		t.Errorf("seed 41 runs differ: %d vs %d cycles", a.Cycles, b.Cycles)
+	}
+	if a.Cycles == c.Cycles {
+		t.Errorf("seeds 41 and 42 coincide at %d cycles (suspicious)", a.Cycles)
+	}
+}

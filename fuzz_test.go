@@ -1,6 +1,7 @@
 package smtbalance
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -94,6 +95,64 @@ func FuzzParsePlacement(f *testing.F) {
 		}
 		if _, err := pl.inner(); err != nil {
 			t.Fatalf("parsed placement fails priority conversion: %v", err)
+		}
+	})
+}
+
+// FuzzParseScenario fuzzes the scenario specification grammar: any spec
+// that parses must yield a canonical identity that round-trips through
+// the grammar, and a generator that either errors descriptively or
+// produces a well-formed job, deterministically.
+func FuzzParseScenario(f *testing.F) {
+	for _, s := range []string{
+		"uniform", "ramp,ranks=8,skew=1.5", "step,skew=5,outlier=2",
+		"phaseshift,period=3", "bursty,amp=3,seed=42", "bimodal,kind2=l2",
+		"ramp, skew = 2 , base = 7000", "uniform,ranks=3", "uniform,kind=spin",
+		"warp", "", "ramp,skew", "ramp,skew=0", "uniform,iters=999999",
+		"bursty,seed=-1", "uniform,ranks=0,iters=1,base=1",
+	} {
+		f.Add(s)
+	}
+	topo := Topology{Chips: 2, CoresPerChip: 2, SMTWays: 2}
+	f.Fuzz(func(t *testing.T, s string) {
+		sc, err := ParseScenario(s)
+		if err != nil {
+			return // rejected input: nothing more to check
+		}
+		id := ScenarioID(sc)
+		if id == "" {
+			t.Fatalf("ParseScenario(%q) yielded an empty identity", s)
+		}
+		// The identity round-trips through the spec grammar: rebuilding
+		// "name,k=v,..." from Name+Params re-parses to the same identity.
+		parts := []string{sc.Name()}
+		for k, v := range sc.Params() {
+			parts = append(parts, k+"="+v)
+		}
+		round, err := ParseScenario(strings.Join(parts, ","))
+		if err != nil {
+			t.Fatalf("effective parameters of %q do not re-parse: %v", s, err)
+		}
+		if ScenarioID(round) != id {
+			t.Fatalf("identity of %q does not round-trip: %q vs %q", s, ScenarioID(round), id)
+		}
+		// Generation is total (no panics), deterministic, and any job it
+		// yields is well-formed for its topology.
+		job, err := sc.Job(topo)
+		if err != nil {
+			return
+		}
+		again, err := sc.Job(topo)
+		if err != nil || !reflect.DeepEqual(job, again) {
+			t.Fatalf("generation of %q is not deterministic (%v)", s, err)
+		}
+		if len(job.Ranks) == 0 || len(job.Ranks)%2 != 0 || len(job.Ranks) > topo.Contexts() {
+			t.Fatalf("generated job has %d ranks on %s", len(job.Ranks), topo)
+		}
+		for r, prog := range job.Ranks {
+			if len(prog) == 0 {
+				t.Fatalf("rank %d has no phases", r)
+			}
 		}
 	})
 }

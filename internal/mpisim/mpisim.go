@@ -145,6 +145,17 @@ type Config struct {
 	MaxCycles int64
 	// OnIteration, if set, fires at every barrier release.
 	OnIteration func(ev IterationEvent)
+	// LoadDrift, if set, rewrites a compute phase's load as its rank
+	// enters it: it receives the rank, the index of the compute phase
+	// within the rank's program (counting compute phases only, from 0)
+	// and the phase's declared load, and returns the load actually
+	// executed.  It is the hook for open-ended drifting workloads whose
+	// per-iteration loads are not known when the job is built — the
+	// scenario generators' runtime alternative to precomputing every
+	// iteration.  A returned N < 1 is clamped to 1 (N <= 0 would mean
+	// an infinite kernel).  The hook must be deterministic if the run's
+	// results are to be reproducible.
+	LoadDrift func(rank, computeIdx int, load workload.Load) workload.Load
 	// ColdCaches skips the cache pre-warming pass.  By default each
 	// rank's working set is touched into the hierarchy before the traced
 	// region: the paper measures steady-state applications, and at the
@@ -246,6 +257,9 @@ type rankState struct {
 	computeAcc   int64
 	computeStart int64
 	inCompute    bool
+	// computeIdx counts the compute phases the rank has started, for
+	// Config.LoadDrift.
+	computeIdx int
 }
 
 type runtime struct {
@@ -525,6 +539,13 @@ func (rt *runtime) startPhase(rs *rankState) {
 		rs.inCompute = true
 		rs.computeStart = now
 		load := ph.Load
+		if rt.cfg.LoadDrift != nil {
+			load = rt.cfg.LoadDrift(rs.id, rs.computeIdx, load)
+			if load.Kind != workload.Spin && load.N < 1 {
+				load.N = 1
+			}
+		}
+		rs.computeIdx++
 		if load.Base == 0 {
 			load.Base = rankBase(rs.id)
 		}

@@ -494,3 +494,81 @@ func TestRunCtxCancellation(t *testing.T) {
 		t.Fatal("cancelled run did not return within 30s")
 	}
 }
+
+// TestLoadDrift checks the per-iteration drift hook: the hook sees each
+// rank's compute phases with their in-program index, its rewrites
+// change the run, and an unchanged-load hook leaves the run identical.
+func TestLoadDrift(t *testing.T) {
+	job := &Job{Name: "drift"}
+	for r := 0; r < 2; r++ {
+		job.Ranks = append(job.Ranks, Program{
+			Compute(fpu(10000)), Barrier(),
+			Compute(fpu(10000)), Barrier(),
+			Compute(fpu(10000)), Barrier(),
+		})
+	}
+	pl := DefaultPlacement(2)
+
+	base, err := Run(job, pl, quietCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Identity drift: same run, and the observed (rank, index) calls
+	// cover each rank's compute phases in order.
+	seen := make(map[int][]int)
+	cfg := quietCfg()
+	cfg.LoadDrift = func(rank, idx int, load workload.Load) workload.Load {
+		seen[rank] = append(seen[rank], idx)
+		return load
+	}
+	same, err := Run(job, pl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.Cycles != base.Cycles {
+		t.Errorf("identity drift changed the run: %d vs %d cycles", same.Cycles, base.Cycles)
+	}
+	for r := 0; r < 2; r++ {
+		if len(seen[r]) != 3 {
+			t.Fatalf("rank %d drift hook fired %d times, want 3", r, len(seen[r]))
+		}
+		for i, idx := range seen[r] {
+			if idx != i {
+				t.Errorf("rank %d call %d reported compute index %d", r, i, idx)
+			}
+		}
+	}
+
+	// A real drift — rank 1 ramps up over the iterations — must slow
+	// the run down.
+	cfg = quietCfg()
+	cfg.LoadDrift = func(rank, idx int, load workload.Load) workload.Load {
+		if rank == 1 {
+			load.N *= int64(idx + 2)
+		}
+		return load
+	}
+	drifted, err := Run(job, pl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drifted.Cycles <= base.Cycles {
+		t.Errorf("ramping drift did not slow the run: %d vs %d cycles", drifted.Cycles, base.Cycles)
+	}
+
+	// A hook returning a non-positive count is clamped, not an infinite
+	// kernel.
+	cfg = quietCfg()
+	cfg.LoadDrift = func(rank, idx int, load workload.Load) workload.Load {
+		load.N = 0
+		return load
+	}
+	tiny, err := Run(job, pl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tiny.Cycles >= base.Cycles {
+		t.Errorf("clamped zero-load drift did not shrink the run: %d vs %d cycles", tiny.Cycles, base.Cycles)
+	}
+}

@@ -1,0 +1,167 @@
+// Package scenario generates the deterministic per-rank, per-iteration
+// load matrices behind the public smtbalance.Scenario shapes.  The paper
+// evaluates its balancer on a handful of hand-built imbalance cases
+// (MetBench loads, BT-MZ, SIESTA); these generators parameterize the
+// *shape* of the imbalance instead — uniform, linear ramp, single
+// outlier rank, phase-shifted drift, bursty noise — because policy
+// rankings flip across shapes, not just magnitudes (two-level and
+// hierarchical balancers win on drifting loads, damped gap-watchers on
+// steady ones).
+//
+// Every generator is a pure function of its arguments: the same inputs
+// always produce the same matrix, on any platform, so scenario-driven
+// tests and evaluation matrices are reproducible byte for byte.  The
+// only randomness is an explicit splitmix64 stream seeded by the caller.
+package scenario
+
+// Loads is an instruction-count matrix: Loads[rank][iter] is the number
+// of compute instructions rank executes in one iteration.  Every entry
+// is at least 1 (a zero-instruction compute phase would be an infinite
+// kernel to the workload generator).
+type Loads [][]int64
+
+// alloc returns a ranks × iters matrix, or nil for degenerate sizes.
+func alloc(ranks, iters int) Loads {
+	if ranks <= 0 || iters <= 0 {
+		return nil
+	}
+	m := make(Loads, ranks)
+	for r := range m {
+		m[r] = make([]int64, iters)
+	}
+	return m
+}
+
+// clampLoad keeps every generated load executable.
+func clampLoad(n int64) int64 {
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// scale applies a multiplicative factor to a base load, rounding to the
+// nearest instruction.  factor 1 is exact: scale(base, 1) == base.
+func scale(base int64, factor float64) int64 {
+	return clampLoad(int64(float64(base)*factor + 0.5))
+}
+
+// Uniform gives every rank the same load every iteration — the balanced
+// control every imbalance shape is measured against.
+func Uniform(ranks, iters int, base int64) Loads {
+	m := alloc(ranks, iters)
+	for r := range m {
+		for i := range m[r] {
+			m[r][i] = clampLoad(base)
+		}
+	}
+	return m
+}
+
+// Ramp skews loads linearly across ranks: rank 0 executes base, the
+// last rank base*skew, intermediate ranks interpolate.  skew is the
+// heaviest-to-lightest ratio; skew == 1 reproduces Uniform exactly,
+// byte for byte.
+func Ramp(ranks, iters int, base int64, skew float64) Loads {
+	m := alloc(ranks, iters)
+	for r := range m {
+		factor := 1.0
+		if ranks > 1 {
+			factor = 1 + (skew-1)*float64(r)/float64(ranks-1)
+		}
+		n := scale(base, factor)
+		for i := range m[r] {
+			m[r][i] = n
+		}
+	}
+	return m
+}
+
+// Step gives every rank base except one outlier rank, which executes
+// base*skew every iteration — the paper's MetBench cases (one rank with
+// 4.4× the work) and the classic straggler.  outlier is clamped into
+// [0, ranks).
+func Step(ranks, iters int, base int64, skew float64, outlier int) Loads {
+	m := alloc(ranks, iters)
+	if m == nil {
+		return nil
+	}
+	if outlier < 0 {
+		outlier = 0
+	}
+	if outlier >= ranks {
+		outlier = ranks - 1
+	}
+	heavy := scale(base, skew)
+	for r := range m {
+		n := clampLoad(base)
+		if r == outlier {
+			n = heavy
+		}
+		for i := range m[r] {
+			m[r][i] = n
+		}
+	}
+	return m
+}
+
+// PhaseShift rotates a Step outlier across the ranks as the iterations
+// advance: iteration i's heavy rank is (i/period) mod ranks, so the
+// bottleneck moves every period iterations — the drifting load that
+// defeats any static plan and separates adaptive policies from
+// hysteresis-bound ones.  period < 1 is treated as 1.
+func PhaseShift(ranks, iters int, base int64, skew float64, period int) Loads {
+	m := alloc(ranks, iters)
+	if m == nil {
+		return nil
+	}
+	if period < 1 {
+		period = 1
+	}
+	light := clampLoad(base)
+	heavy := scale(base, skew)
+	for i := 0; i < iters; i++ {
+		hot := (i / period) % ranks
+		for r := range m {
+			if r == hot {
+				m[r][i] = heavy
+			} else {
+				m[r][i] = light
+			}
+		}
+	}
+	return m
+}
+
+// Bursty draws every (rank, iteration) load independently from
+// [base, base*(1+amp)] using a splitmix64 stream: deterministic noise,
+// reproducible from the seed, with no structure a gap-watcher could
+// track.  The stream is consumed rank-major so a matrix is a pure
+// function of (ranks, iters, base, amp, seed).
+func Bursty(ranks, iters int, base int64, amp float64, seed uint64) Loads {
+	m := alloc(ranks, iters)
+	state := seed
+	for r := range m {
+		for i := range m[r] {
+			m[r][i] = scale(base, 1+amp*unit(&state))
+		}
+	}
+	return m
+}
+
+// splitmix64 advances the generator state and returns the next value.
+// It is the reference splitmix64 (Steele et al.), chosen because it is
+// tiny, fast, seeds well from any value including 0, and is trivially
+// reproducible in any language a cross-checking harness might use.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// unit maps the next splitmix64 draw to [0, 1).
+func unit(state *uint64) float64 {
+	return float64(splitmix64(state)>>11) / (1 << 53)
+}

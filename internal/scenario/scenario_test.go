@@ -1,0 +1,140 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestUniform(t *testing.T) {
+	m := Uniform(4, 3, 1000)
+	if len(m) != 4 || len(m[0]) != 3 {
+		t.Fatalf("Uniform(4, 3) has shape %dx%d", len(m), len(m[0]))
+	}
+	for r := range m {
+		for i := range m[r] {
+			if m[r][i] != 1000 {
+				t.Errorf("Uniform load [%d][%d] = %d, want 1000", r, i, m[r][i])
+			}
+		}
+	}
+}
+
+func TestDegenerateSizes(t *testing.T) {
+	for _, m := range []Loads{
+		Uniform(0, 3, 1000), Uniform(4, 0, 1000), Uniform(-1, -1, 1000),
+		Ramp(0, 1, 10, 2), Step(0, 1, 10, 2, 0), PhaseShift(0, 1, 10, 2, 1),
+		Bursty(0, 1, 10, 2, 1),
+	} {
+		if m != nil {
+			t.Errorf("degenerate size produced non-nil matrix %v", m)
+		}
+	}
+}
+
+func TestRampMonotonicAndSkew(t *testing.T) {
+	m := Ramp(4, 2, 1000, 4)
+	for r := 1; r < 4; r++ {
+		if m[r][0] <= m[r-1][0] {
+			t.Errorf("ramp not strictly increasing: rank %d load %d <= rank %d load %d",
+				r, m[r][0], r-1, m[r-1][0])
+		}
+	}
+	if m[0][0] != 1000 || m[3][0] != 4000 {
+		t.Errorf("ramp endpoints = %d, %d, want 1000, 4000", m[0][0], m[3][0])
+	}
+}
+
+// A skew-1 ramp must be byte-identical to the uniform matrix — the
+// metamorphic anchor the public scenario layer re-asserts on whole jobs.
+func TestRampSkewOneIsUniform(t *testing.T) {
+	if got, want := Ramp(6, 4, 12345, 1), Uniform(6, 4, 12345); !reflect.DeepEqual(got, want) {
+		t.Errorf("Ramp(skew=1) = %v, want uniform %v", got, want)
+	}
+}
+
+func TestStepOutlier(t *testing.T) {
+	m := Step(4, 2, 1000, 5, 2)
+	for r := range m {
+		want := int64(1000)
+		if r == 2 {
+			want = 5000
+		}
+		if m[r][0] != want {
+			t.Errorf("step rank %d load = %d, want %d", r, m[r][0], want)
+		}
+	}
+	// Out-of-range outliers clamp instead of vanishing.
+	if m := Step(4, 1, 1000, 2, 99); m[3][0] != 2000 {
+		t.Errorf("clamped outlier load = %d, want 2000", m[3][0])
+	}
+	if m := Step(4, 1, 1000, 2, -5); m[0][0] != 2000 {
+		t.Errorf("clamped negative outlier load = %d, want 2000", m[0][0])
+	}
+}
+
+// The phase-shifted outlier must visit every rank and move exactly every
+// `period` iterations.
+func TestPhaseShiftRotation(t *testing.T) {
+	const ranks, iters, period = 4, 8, 2
+	m := PhaseShift(ranks, iters, 1000, 3, period)
+	visited := make(map[int]bool)
+	for i := 0; i < iters; i++ {
+		hot := -1
+		for r := 0; r < ranks; r++ {
+			if m[r][i] == 3000 {
+				if hot >= 0 {
+					t.Fatalf("iteration %d has two heavy ranks (%d and %d)", i, hot, r)
+				}
+				hot = r
+			} else if m[r][i] != 1000 {
+				t.Fatalf("iteration %d rank %d load = %d, want 1000 or 3000", i, r, m[r][i])
+			}
+		}
+		if want := (i / period) % ranks; hot != want {
+			t.Errorf("iteration %d heavy rank = %d, want %d", i, hot, want)
+		}
+		visited[hot] = true
+	}
+	if len(visited) != ranks {
+		t.Errorf("heavy rank visited %d of %d ranks", len(visited), ranks)
+	}
+}
+
+func TestBurstyDeterministicAndSeeded(t *testing.T) {
+	a := Bursty(4, 6, 10000, 3, 42)
+	b := Bursty(4, 6, 10000, 3, 42)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("Bursty is not deterministic for equal seeds")
+	}
+	c := Bursty(4, 6, 10000, 3, 43)
+	if reflect.DeepEqual(a, c) {
+		t.Error("Bursty ignored the seed: seeds 42 and 43 coincide")
+	}
+	for r := range a {
+		for i := range a[r] {
+			if a[r][i] < 10000 || a[r][i] > 40000 {
+				t.Errorf("bursty load [%d][%d] = %d outside [base, base*(1+amp)]", r, i, a[r][i])
+			}
+		}
+	}
+}
+
+// Every generator must keep loads executable even for adversarial
+// parameters (zero base, negative skew).
+func TestLoadsNeverBelowOne(t *testing.T) {
+	for name, m := range map[string]Loads{
+		"uniform":    Uniform(2, 2, 0),
+		"ramp":       Ramp(4, 2, 10, -3),
+		"step":       Step(4, 2, 0, -1, 1),
+		"phaseshift": PhaseShift(4, 4, 0, 0, 1),
+		"bursty":     Bursty(4, 4, 0, 0, 7),
+	} {
+		for r := range m {
+			for i := range m[r] {
+				if m[r][i] < 1 {
+					t.Errorf("%s load [%d][%d] = %d < 1", name, r, i, m[r][i])
+				}
+			}
+		}
+	}
+}

@@ -7,11 +7,15 @@
 //
 // Endpoints:
 //
-//	GET  /healthz   liveness + topology + cache statistics
-//	POST /v1/run    run one job/placement, JSON in, JSON out
-//	POST /v1/sweep  rank a configuration space, streamed as NDJSON
-//	                (one ranked entry per chunk, best first, then a
-//	                terminal {"done":true,...} record)
+//	GET  /healthz    liveness + topology + cache statistics
+//	POST /v1/run     run one job/placement, JSON in, JSON out
+//	POST /v1/sweep   rank a configuration space, streamed as NDJSON
+//	                 (one ranked entry per chunk, best first, then a
+//	                 terminal {"done":true,...} record)
+//	POST /v1/matrix  evaluate a policy × scenario × topology matrix,
+//	                 streamed as NDJSON cell by cell, then a terminal
+//	                 {"done":true,...} record; cells are cached across
+//	                 requests in a shared Matrix engine
 //
 // The wire schema is deliberately strict: unknown fields are rejected so
 // that a typo ("barier") fails loudly instead of simulating the wrong
@@ -21,7 +25,11 @@
 // resident set is bounded by the Machine's entry-capped cache times the
 // largest accepted job — Config.MaxRanks and Config.MaxPhases bound the
 // per-entry trace size, and Machine.ClearCache releases everything if an
-// operator needs to shed memory without restarting.
+// operator needs to shed memory without restarting.  The matrix
+// engine's stores are entry-capped the same way (cells and
+// per-topology machines evict FIFO), and MaxRanks bounds the machines
+// a matrix request may ask for, so /v1/matrix cannot outgrow the cap
+// either.
 package serve
 
 import (
@@ -30,6 +38,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	smtbalance "repro"
@@ -55,6 +64,9 @@ type Config struct {
 	// SweepWorkers is the worker-pool size for sweep requests (default
 	// 0 = one per CPU).
 	SweepWorkers int
+	// MaxMatrixCells caps a matrix request's (topology, scenario) cell
+	// count (default 16).
+	MaxMatrixCells int
 }
 
 // withDefaults substitutes the default for any unset limit.  Zero and
@@ -76,6 +88,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Timeout <= 0 {
 		c.Timeout = 120 * time.Second
+	}
+	if c.MaxMatrixCells <= 0 {
+		c.MaxMatrixCells = 16
 	}
 	return c
 }
@@ -205,6 +220,40 @@ type SweepDone struct {
 	Returned  int  `json:"returned"`
 }
 
+// MatrixRequest is the POST /v1/matrix body: every policy evaluated on
+// every scenario on every topology, scored by speedup over the static
+// control (see smtbalance.EvalMatrix).
+type MatrixRequest struct {
+	// Scenarios are ParseScenario specifications, e.g. "uniform",
+	// "ramp,skew=3".  Required.
+	Scenarios []string `json:"scenarios"`
+	// Policies are ParsePolicy specifications; the static control is
+	// added automatically when absent.  Required.
+	Policies []string `json:"policies"`
+	// Topologies are "chips x cores x smt" strings; empty means the
+	// server machine's topology.
+	Topologies []string `json:"topologies,omitempty"`
+}
+
+// MatrixEntryJSON is one evaluation, one NDJSON chunk of the matrix
+// stream.
+type MatrixEntryJSON struct {
+	Topology     string  `json:"topology"`
+	Scenario     string  `json:"scenario"`
+	Policy       string  `json:"policy"`
+	Cycles       int64   `json:"cycles"`
+	Seconds      float64 `json:"seconds"`
+	ImbalancePct float64 `json:"imbalance_pct"`
+	Speedup      float64 `json:"speedup_vs_static"`
+}
+
+// MatrixDone is the terminal NDJSON chunk of a matrix stream.
+type MatrixDone struct {
+	Done    bool `json:"done"`
+	Cells   int  `json:"cells"`
+	Entries int  `json:"entries"`
+}
+
 // Health is the GET /healthz reply.
 type Health struct {
 	Status   string                `json:"status"`
@@ -220,16 +269,21 @@ type errorJSON struct {
 
 type server struct {
 	m   *smtbalance.Machine
+	mx  *smtbalance.Matrix
 	cfg Config
 }
 
-// NewHandler serves the API on one shared Machine.
+// NewHandler serves the API on one shared Machine.  Matrix requests
+// run on a shared Matrix engine of their own (scenario cells may name
+// topologies other than the Machine's), whose cell cache likewise
+// persists across requests.
 func NewHandler(m *smtbalance.Machine, cfg Config) http.Handler {
-	s := &server{m: m, cfg: cfg.withDefaults()}
+	s := &server{m: m, mx: smtbalance.NewMatrix(), cfg: cfg.withDefaults()}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.healthz)
 	mux.HandleFunc("POST /v1/run", s.run)
 	mux.HandleFunc("POST /v1/sweep", s.sweep)
+	mux.HandleFunc("POST /v1/matrix", s.matrix)
 	return mux
 }
 
@@ -527,6 +581,140 @@ func (s *server) sweep(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	_ = enc.Encode(SweepDone{Done: true, Evaluated: res.Evaluated, Returned: len(res.Entries)})
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// checkScenarioLimits bounds what one matrix scenario may ask of the
+// server, reading the scenario's effective parameters (the built-in
+// shapes expose ranks/iters/base; a custom shape without them is
+// bounded by its topology's context count and the request timeout).
+func (s *server) checkScenarioLimits(sc smtbalance.Scenario) error {
+	params := sc.Params()
+	if v, err := strconv.Atoi(params["ranks"]); err == nil && v > s.cfg.MaxRanks {
+		return fmt.Errorf("scenario %q asks for %d ranks; this server accepts at most %d", smtbalance.ScenarioID(sc), v, s.cfg.MaxRanks)
+	}
+	if v, err := strconv.Atoi(params["iters"]); err == nil && v > s.cfg.MaxPhases/2 {
+		return fmt.Errorf("scenario %q asks for %d iterations; this server accepts at most %d", smtbalance.ScenarioID(sc), v, s.cfg.MaxPhases/2)
+	}
+	if v, err := strconv.ParseInt(params["base"], 10, 64); err == nil && v > s.cfg.MaxComputeN {
+		return fmt.Errorf("scenario %q asks for %d-instruction phases; this server accepts at most %d", smtbalance.ScenarioID(sc), v, s.cfg.MaxComputeN)
+	}
+	return nil
+}
+
+// matrix streams a policy × scenario × topology evaluation matrix as
+// NDJSON, cell by cell as each finishes (cached cells stream
+// immediately), then a terminal MatrixDone record.  Errors before the
+// first entry are JSON error replies; an error after streaming began is
+// appended as a final {"error": ...} record.
+func (s *server) matrix(w http.ResponseWriter, r *http.Request) {
+	var req MatrixRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	var spec smtbalance.MatrixSpec
+	for _, raw := range req.Scenarios {
+		sc, err := smtbalance.ParseScenario(raw)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if err := s.checkScenarioLimits(sc); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		spec.Scenarios = append(spec.Scenarios, sc)
+	}
+	for _, raw := range req.Policies {
+		pol, err := smtbalance.ParsePolicy(raw)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		spec.Policies = append(spec.Policies, pol)
+	}
+	for _, raw := range req.Topologies {
+		topo, err := smtbalance.ParseTopology(raw)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		spec.Topologies = append(spec.Topologies, topo)
+	}
+	if len(spec.Topologies) == 0 {
+		spec.Topologies = []smtbalance.Topology{s.m.Topology()}
+	}
+	// A scenario with ranks=0 sizes its job to the topology, so the
+	// rank cap must bound the requested machines too — otherwise a
+	// "64x64x2" topology smuggles an 8192-rank job past MaxRanks.
+	for _, topo := range spec.Topologies {
+		if topo.Contexts() > s.cfg.MaxRanks {
+			writeError(w, http.StatusBadRequest, "topology %s has %d hardware contexts; this server simulates at most %d ranks", topo, topo.Contexts(), s.cfg.MaxRanks)
+			return
+		}
+	}
+	if len(spec.Scenarios) == 0 || len(spec.Policies) == 0 {
+		writeError(w, http.StatusBadRequest, "scenarios and policies must both be non-empty")
+		return
+	}
+	if cells := len(spec.Topologies) * len(spec.Scenarios); cells > s.cfg.MaxMatrixCells {
+		writeError(w, http.StatusBadRequest, "%d topology × scenario cells; this server accepts at most %d", cells, s.cfg.MaxMatrixCells)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	defer cancel()
+	flusher, _ := w.(http.Flusher)
+	var enc *json.Encoder
+	entries := 0
+	for e, err := range s.mx.Eval(ctx, spec, &smtbalance.MatrixOptions{Workers: s.cfg.SweepWorkers}) {
+		if err != nil {
+			switch {
+			case enc != nil:
+				// Mid-stream: the status line is gone; append the error
+				// as the terminal record instead of a silent cut.
+				_ = enc.Encode(errorJSON{Error: err.Error()})
+			case errors.Is(err, context.DeadlineExceeded):
+				writeError(w, http.StatusGatewayTimeout, "matrix exceeded the server's %s budget", s.cfg.Timeout)
+			case r.Context().Err() != nil:
+				// Client went away.
+			default:
+				writeError(w, http.StatusBadRequest, "%v", err)
+			}
+			return
+		}
+		if enc == nil {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+			enc = json.NewEncoder(w)
+			enc.SetEscapeHTML(false)
+		}
+		if err := enc.Encode(MatrixEntryJSON{
+			Topology:     e.Topology,
+			Scenario:     e.Scenario,
+			Policy:       e.Policy,
+			Cycles:       e.Cycles,
+			Seconds:      e.Seconds,
+			ImbalancePct: e.ImbalancePct,
+			Speedup:      e.Speedup,
+		}); err != nil {
+			return // client gone mid-stream
+		}
+		entries++
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	if enc == nil {
+		// Unreachable today (a validated spec always yields entries),
+		// but a terminal record must not panic on an empty stream.
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		enc = json.NewEncoder(w)
+	}
+	_ = enc.Encode(MatrixDone{Done: true, Cells: len(spec.Topologies) * len(spec.Scenarios), Entries: entries})
 	if flusher != nil {
 		flusher.Flush()
 	}

@@ -366,3 +366,115 @@ func TestSweepPoliciesRoundTrip(t *testing.T) {
 		t.Fatalf("bad sweep policy returned %d: %s", resp.StatusCode, data)
 	}
 }
+
+func TestMatrixStreamsNDJSON(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	body := `{
+	  "scenarios": ["uniform,base=5000,iters=3", "step,base=5000,iters=3"],
+	  "policies": ["dyn"]
+	}`
+	resp, data := postJSON(t, ts.URL+"/v1/matrix", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	// 2 cells × (implicit static + dyn) entries, then the done record.
+	if len(lines) != 5 {
+		t.Fatalf("stream has %d lines, want 5:\n%s", len(lines), data)
+	}
+	var first MatrixEntryJSON
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("first chunk: %v", err)
+	}
+	if first.Policy != "static" || first.Speedup != 1 || first.Topology != "1x2x2" {
+		t.Errorf("first entry = %+v, want the static control at speedup 1", first)
+	}
+	if !strings.Contains(first.Scenario, "uniform(") {
+		t.Errorf("first entry scenario = %q, want the first uniform cell", first.Scenario)
+	}
+	var second MatrixEntryJSON
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatalf("second chunk: %v", err)
+	}
+	if !strings.Contains(second.Policy, "dyn(") || second.Cycles <= 0 {
+		t.Errorf("second entry = %+v, want the dyn evaluation", second)
+	}
+	var done MatrixDone
+	if err := json.Unmarshal([]byte(lines[4]), &done); err != nil {
+		t.Fatalf("terminal chunk: %v", err)
+	}
+	if !done.Done || done.Cells != 2 || done.Entries != 4 {
+		t.Errorf("terminal record = %+v, want done with 2 cells / 4 entries", done)
+	}
+
+	// The same request replays from the shared Matrix engine's cell
+	// cache, byte-identically.
+	resp2, data2 := postJSON(t, ts.URL+"/v1/matrix", body)
+	if resp2.StatusCode != http.StatusOK || string(data2) != string(data) {
+		t.Errorf("cached replay differs: status %d\n%s\nvs\n%s", resp2.StatusCode, data2, data)
+	}
+}
+
+func TestMatrixExplicitTopologies(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	resp, data := postJSON(t, ts.URL+"/v1/matrix", `{
+	  "scenarios": ["uniform,base=4000,iters=2"],
+	  "policies": ["static"],
+	  "topologies": ["2x2x2"]
+	}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var first MatrixEntryJSON
+	if err := json.Unmarshal([]byte(strings.SplitN(string(data), "\n", 2)[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Topology != "2x2x2" {
+		t.Errorf("entry topology = %q, want 2x2x2", first.Topology)
+	}
+}
+
+func TestMatrixRejectsBadRequests(t *testing.T) {
+	ts := newTestServer(t, Config{MaxMatrixCells: 2, MaxRanks: 8, MaxComputeN: 100_000})
+	for name, body := range map[string]string{
+		"unknown scenario": `{"scenarios": ["warp"], "policies": ["static"]}`,
+		"unknown policy":   `{"scenarios": ["uniform"], "policies": ["dyn2"]}`,
+		"bad topology":     `{"scenarios": ["uniform"], "policies": ["static"], "topologies": ["0x2x2"]}`,
+		"empty scenarios":  `{"scenarios": [], "policies": ["static"]}`,
+		"empty policies":   `{"scenarios": ["uniform"], "policies": []}`,
+		"unknown field":    `{"scenarios": ["uniform"], "policies": ["static"], "bogus": 1}`,
+		"too many cells":   `{"scenarios": ["uniform", "ramp", "step"], "policies": ["static"]}`,
+		"too many ranks":   `{"scenarios": ["uniform,ranks=32"], "policies": ["static"]}`,
+		// ranks=0 sizes the job to the topology: a huge topology must
+		// not smuggle a huge job past MaxRanks (regression).
+		"oversized topology": `{"scenarios": ["uniform"], "policies": ["static"], "topologies": ["4x16x2"]}`,
+		"oversized base":     `{"scenarios": ["uniform,base=2000000"], "policies": ["static"]}`,
+		"oversized iters":    `{"scenarios": ["uniform,iters=4000"], "policies": ["static"]}`,
+	} {
+		resp, data := postJSON(t, ts.URL+"/v1/matrix", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", name, resp.StatusCode, data)
+			continue
+		}
+		var e errorJSON
+		if err := json.Unmarshal(data, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: error reply not JSON: %s", name, data)
+		}
+	}
+}
+
+func TestMatrixTimeout(t *testing.T) {
+	ts := newTestServer(t, Config{Timeout: 1 * time.Millisecond})
+	resp, data := postJSON(t, ts.URL+"/v1/matrix", `{
+	  "scenarios": ["uniform,base=9000,iters=4"],
+	  "policies": ["dyn"]
+	}`)
+	// Either the deadline fires before the first entry (504) or — on a
+	// very fast machine — the cell finishes inside the budget (200).
+	if resp.StatusCode != http.StatusGatewayTimeout && resp.StatusCode != http.StatusOK {
+		t.Errorf("status %d, want 504 or 200 (%s)", resp.StatusCode, data)
+	}
+}

@@ -135,7 +135,7 @@ func (m *Machine) runPolicy(ctx context.Context, job Job, pl Placement, pol Poli
 	if err := pl.validate(m.opts.Topology); err != nil {
 		return nil, err
 	}
-	cacheable := m.opts.OnIteration == nil && policyCacheable(pol)
+	cacheable := m.opts.OnIteration == nil && m.opts.LoadDrift == nil && policyCacheable(pol)
 	var key cacheKey
 	if cacheable {
 		key = placementKey(envJobKey(m.opts.Topology, m.opts, pol, job), pl.CPU, prioInts(pl.Priority))
@@ -195,6 +195,9 @@ func (m *Machine) sweepAll(ctx context.Context, job Job, space Space, opts *Swee
 	}
 	if m.opts.DynamicBalance || m.opts.OnIteration != nil {
 		return nil, fmt.Errorf("smtbalance: the deprecated DynamicBalance knob and OnIteration are not supported in sweeps; set Options.Policy or list policies in Space.Policies")
+	}
+	if m.opts.LoadDrift != nil {
+		return nil, fmt.Errorf("smtbalance: Options.LoadDrift is not supported in sweeps; precompute the drift into the job (e.g. a phaseshift Scenario) so every point runs the same program")
 	}
 	if err := validateSweepJob(job, m.opts.Topology); err != nil {
 		return nil, err
@@ -387,6 +390,25 @@ func (m *Machine) Optimize(ctx context.Context, job Job, objective Objective) (P
 		return Placement{}, nil, err
 	}
 	return best.Placement, res, nil
+}
+
+// NewScenarioSession generates the scenario's job for this machine's
+// topology and opens a Session on it — the one-liner connecting the
+// scenario generator to the paper's iterative profile → re-place →
+// retune loop:
+//
+//	sc, _ := smtbalance.ParseScenario("ramp,skew=3")
+//	s, _ := m.NewScenarioSession(sc)
+//	res, _ := s.Balance(ctx, &smtbalance.FeedbackPolicy{})
+func (m *Machine) NewScenarioSession(sc Scenario) (*Session, error) {
+	if sc == nil {
+		return nil, fmt.Errorf("smtbalance: nil scenario")
+	}
+	job, err := sc.Job(m.opts.Topology)
+	if err != nil {
+		return nil, err
+	}
+	return m.NewSession(job), nil
 }
 
 // Session binds one job to a Machine for the paper's iterative workflow:

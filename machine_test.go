@@ -419,3 +419,45 @@ func TestSuggestFromLastEdgeCases(t *testing.T) {
 		t.Error("odd-rank SuggestFromLast succeeded")
 	}
 }
+
+// Options.LoadDrift rescales compute phases at run time, disables the
+// result cache (the hook's output is not in the job hash) and is
+// rejected in sweeps.
+func TestMachineRunLoadDrift(t *testing.T) {
+	job := sweepTestJob(3000, 12000)
+	ctx := context.Background()
+	base, err := Run(job, PinInOrder(4), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	m, err := NewMachine(&Options{LoadDrift: func(rank, phase int, n int64) int64 {
+		calls++
+		return 3 * n
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drifted, err := m.Run(ctx, job, PinInOrder(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("LoadDrift never fired")
+	}
+	if drifted.Cycles <= base.Cycles {
+		t.Errorf("tripled loads did not slow the run: %d vs %d cycles", drifted.Cycles, base.Cycles)
+	}
+	if _, err := m.Run(ctx, job, PinInOrder(4)); err != nil {
+		t.Fatal(err)
+	}
+	if st := m.CacheStats(); st.Results != 0 {
+		t.Errorf("results were cached despite LoadDrift: stats %+v", st)
+	}
+	for _, err := range m.Sweep(ctx, job, UserSettableSpace(), nil) {
+		if err == nil || !strings.Contains(err.Error(), "LoadDrift") {
+			t.Errorf("sweep under LoadDrift yielded %v, want a descriptive rejection", err)
+		}
+		break
+	}
+}

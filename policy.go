@@ -63,9 +63,15 @@ func PolicyID(p Policy) string {
 	if p == nil {
 		return ""
 	}
-	params := p.Params()
+	return idString(p.Name(), p.Params())
+}
+
+// idString renders the canonical "name(k=v,...)" identity shared by
+// PolicyID and ScenarioID: effective parameters sorted by key, so equal
+// behavior always renders equally.
+func idString(name string, params map[string]string) string {
 	if len(params) == 0 {
-		return p.Name()
+		return name
 	}
 	keys := make([]string, 0, len(params))
 	for k := range params {
@@ -73,7 +79,7 @@ func PolicyID(p Policy) string {
 	}
 	sort.Strings(keys)
 	var b strings.Builder
-	b.WriteString(p.Name())
+	b.WriteString(name)
 	b.WriteByte('(')
 	for i, k := range keys {
 		if i > 0 {
@@ -133,28 +139,13 @@ func Policies() []string {
 // ParsePolicy resolves a policy specification string: a registered name
 // followed by comma-separated key=value parameters, e.g. "static",
 // "dyn,maxdiff=2", "feedback,gain=8,deadband=0.02".  Whitespace around
-// tokens is ignored.  Unknown names and parameters are errors.
+// tokens is ignored.  Unknown names and parameters are errors; an
+// unknown name's error lists the registered policies, so a typo like
+// "dyn2" tells the user what exists instead of leaving them guessing.
 func ParsePolicy(s string) (Policy, error) {
-	fields := strings.Split(s, ",")
-	name := strings.TrimSpace(fields[0])
-	if name == "" {
-		return nil, fmt.Errorf("smtbalance: empty policy specification %q", s)
-	}
-	params := make(map[string]string)
-	for _, f := range fields[1:] {
-		f = strings.TrimSpace(f)
-		if f == "" {
-			continue
-		}
-		k, v, ok := strings.Cut(f, "=")
-		k, v = strings.TrimSpace(k), strings.TrimSpace(v)
-		if !ok || k == "" || v == "" {
-			return nil, fmt.Errorf("smtbalance: bad policy parameter %q in %q (want key=value)", f, s)
-		}
-		if _, dup := params[k]; dup {
-			return nil, fmt.Errorf("smtbalance: duplicate policy parameter %q in %q", k, s)
-		}
-		params[k] = v
+	name, params, err := parseSpec("policy", s)
+	if err != nil {
+		return nil, err
 	}
 	policyRegistry.RLock()
 	factory := policyRegistry.m[name]
@@ -167,6 +158,35 @@ func ParsePolicy(s string) (Policy, error) {
 		return nil, fmt.Errorf("smtbalance: policy %q: %w", name, err)
 	}
 	return pol, nil
+}
+
+// parseSpec splits a registry specification — a name followed by
+// comma-separated key=value parameters — into its parts.  It is shared
+// by ParsePolicy and ParseScenario so the two grammars cannot drift;
+// `what` names the registry in error messages ("policy", "scenario").
+func parseSpec(what, s string) (name string, params map[string]string, err error) {
+	fields := strings.Split(s, ",")
+	name = strings.TrimSpace(fields[0])
+	if name == "" {
+		return "", nil, fmt.Errorf("smtbalance: empty %s specification %q", what, s)
+	}
+	params = make(map[string]string)
+	for _, f := range fields[1:] {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(f, "=")
+		k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+		if !ok || k == "" || v == "" {
+			return "", nil, fmt.Errorf("smtbalance: bad %s parameter %q in %q (want key=value)", what, f, s)
+		}
+		if _, dup := params[k]; dup {
+			return "", nil, fmt.Errorf("smtbalance: duplicate %s parameter %q in %q", what, k, s)
+		}
+		params[k] = v
+	}
+	return name, params, nil
 }
 
 // paramInt reads an integer parameter, deleting it from the map so the

@@ -106,6 +106,24 @@ func TestParsePolicy(t *testing.T) {
 	}
 }
 
+// Regression: an unknown policy name's error must list the registered
+// names — a typo like "dyn2" should teach what exists, not stonewall.
+// ParseScenario mirrors this behavior (see scenario_test.go).
+func TestParsePolicyUnknownNameListsRegistered(t *testing.T) {
+	_, err := ParsePolicy("dyn2")
+	if err == nil {
+		t.Fatal("ParsePolicy(dyn2) accepted")
+	}
+	if !strings.Contains(err.Error(), "unknown policy") {
+		t.Errorf("error %q does not say the name is unknown", err)
+	}
+	for _, name := range []string{"static", "dyn", "hier", "feedback"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("ParsePolicy(dyn2) error %q does not mention registered policy %q", err, name)
+		}
+	}
+}
+
 // TestDeprecatedDynamicBalanceMatchesPaperDynamic is the regression the
 // redesign promises: the deprecated knobs are a pure alias for the
 // extracted PaperDynamic policy.

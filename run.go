@@ -181,6 +181,17 @@ type Options struct {
 	MaxPriorityDiff int
 	// OnIteration, if set, is called at every barrier release.
 	OnIteration func(IterationStats)
+	// LoadDrift, if set, rescales each compute phase's instruction
+	// count as its rank enters it: before rank r starts its i-th
+	// compute phase (counting from 0) the hook maps the phase's
+	// declared count n to the count actually executed.  It is the
+	// runtime alternative to a Scenario's precomputed per-iteration
+	// loads, for open-ended or adaptive drifts not known when the job
+	// is built.  Returned values below 1 are clamped to 1.  Like
+	// OnIteration, LoadDrift disables result caching for Run calls and
+	// is rejected in sweeps; the hook must be deterministic for runs to
+	// be reproducible.
+	LoadDrift func(rank, phase int, n int64) int64
 	// MaxCycles aborts runs that stop progressing (0 = generous default).
 	MaxCycles int64
 }
@@ -269,7 +280,7 @@ func (opts *Options) simConfig() mpisim.Config {
 	if opts.NoOSNoise {
 		kcfg.TickPeriod = 0
 	}
-	return mpisim.Config{
+	cfg := mpisim.Config{
 		Chip:       power5.DefaultConfig(),
 		Topology:   opts.Topology.inner(),
 		Kernel:     kcfg,
@@ -277,6 +288,13 @@ func (opts *Options) simConfig() mpisim.Config {
 		MaxCycles:  opts.MaxCycles,
 		ColdCaches: opts.ColdCaches,
 	}
+	if drift := opts.LoadDrift; drift != nil {
+		cfg.LoadDrift = func(rank, idx int, load workload.Load) workload.Load {
+			load.N = drift(rank, idx, load.N)
+			return load
+		}
+	}
+	return cfg
 }
 
 // Run executes the job under the placement on the machine described by

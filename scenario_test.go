@@ -1,0 +1,240 @@
+package smtbalance
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestBuiltinScenariosRegistered(t *testing.T) {
+	names := Scenarios()
+	for _, want := range []string{"uniform", "ramp", "step", "phaseshift", "bursty", "bimodal"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("built-in scenario %q not registered (have %v)", want, names)
+		}
+	}
+}
+
+func TestParseScenario(t *testing.T) {
+	sc, err := ParseScenario("ramp, ranks=8 ,skew=1.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name() != "ramp" {
+		t.Fatalf("ParseScenario(ramp) name = %q", sc.Name())
+	}
+	p := sc.Params()
+	if p["ranks"] != "8" || p["skew"] != "1.5" {
+		t.Errorf("effective params = %v, want ranks=8 skew=1.5", p)
+	}
+	// Defaults fill in and render canonically.
+	if p["iters"] != "5" || p["base"] != "20000" || p["kind"] != "fpu" {
+		t.Errorf("defaulted params = %v", p)
+	}
+	id := ScenarioID(sc)
+	if id != "ramp(base=20000,iters=5,kind=fpu,ranks=8,skew=1.5)" {
+		t.Errorf("ScenarioID = %q", id)
+	}
+}
+
+func TestParseScenarioRejects(t *testing.T) {
+	for _, bad := range []string{
+		"",                     // empty spec
+		"   ",                  // name missing
+		"warp",                 // unknown shape
+		"ramp,skw=2",           // unknown parameter
+		"ramp,skew",            // not key=value
+		"ramp,skew=2,skew=3",   // duplicate
+		"ramp,skew=0",          // out of range (paramFloat is exclusive at min)
+		"uniform,ranks=-1",     // negative
+		"uniform,ranks=999999", // over the cap
+		"uniform,base=0",       // zero base
+		"uniform,iters=0",      // zero iterations
+		"uniform,kind=spin",    // spinning compute never terminates
+		"uniform,kind=nope",    // unknown kernel
+		"bimodal,kind2=spin",   // same for the memory side
+		"bursty,seed=-1",       // negative seed
+		"step,outlier=-2",      // negative outlier
+	} {
+		if _, err := ParseScenario(bad); err == nil {
+			t.Errorf("ParseScenario(%q) accepted", bad)
+		}
+	}
+}
+
+// Regression (and the ParsePolicy mirror): an unknown name's error must
+// list what IS registered — a typo like "ramp2" or "dyn2" should teach,
+// not stonewall.
+func TestParseScenarioUnknownNameListsRegistered(t *testing.T) {
+	_, err := ParseScenario("ramp2")
+	if err == nil {
+		t.Fatal("ParseScenario(ramp2) accepted")
+	}
+	for _, name := range []string{"uniform", "ramp", "step", "phaseshift", "bursty", "bimodal"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("ParseScenario(ramp2) error %q does not mention registered scenario %q", err, name)
+		}
+	}
+}
+
+// A scenario spec round-trips through its effective parameters: parsing
+// "name,k=v,..." rebuilt from Name+Params yields the same identity.
+func TestScenarioSpecRoundTrip(t *testing.T) {
+	for _, spec := range []string{
+		"uniform", "ramp,skew=2.5", "step,outlier=1,skew=6",
+		"phaseshift,period=3", "bursty,amp=1.5,seed=99", "bimodal,kind2=l2",
+	} {
+		sc, err := ParseScenario(spec)
+		if err != nil {
+			t.Fatalf("ParseScenario(%q): %v", spec, err)
+		}
+		parts := []string{sc.Name()}
+		for k, v := range sc.Params() {
+			parts = append(parts, k+"="+v)
+		}
+		round, err := ParseScenario(strings.Join(parts, ","))
+		if err != nil {
+			t.Fatalf("round-trip of %q (%q): %v", spec, strings.Join(parts, ","), err)
+		}
+		if ScenarioID(round) != ScenarioID(sc) {
+			t.Errorf("round-trip of %q: ID %q != %q", spec, ScenarioID(round), ScenarioID(sc))
+		}
+	}
+}
+
+func TestScenarioJobShapes(t *testing.T) {
+	topo := DefaultTopology()
+	for _, spec := range []string{"uniform", "ramp", "step", "phaseshift", "bursty", "bimodal"} {
+		sc, err := ParseScenario(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		job, err := sc.Job(topo)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		if len(job.Ranks) != topo.Contexts() {
+			t.Errorf("%s: ranks=0 generated %d ranks, want %d", spec, len(job.Ranks), topo.Contexts())
+		}
+		for r, prog := range job.Ranks {
+			if len(prog) != 2*5 { // default 5 iterations of compute+barrier
+				t.Errorf("%s rank %d has %d phases, want 10", spec, r, len(prog))
+			}
+		}
+		if job.Name != ScenarioID(sc) {
+			t.Errorf("%s: job name %q != scenario ID %q", spec, job.Name, ScenarioID(sc))
+		}
+		// The generated job must actually run on its topology.
+		m, err := NewMachine(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl, err := topo.PinInOrder(len(job.Ranks))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run(t.Context(), job, pl); err != nil {
+			t.Errorf("%s: generated job does not run: %v", spec, err)
+		}
+	}
+}
+
+func TestScenarioJobErrors(t *testing.T) {
+	topo := DefaultTopology()
+	for _, tc := range []struct{ spec, wantSub string }{
+		{"uniform,ranks=6", "hardware contexts"}, // over the topology
+		{"uniform,ranks=3", "even rank count"},   // odd
+		{"phaseshift,ranks=2", ""},               // fine: sanity that small is OK
+	} {
+		sc, err := ParseScenario(tc.spec)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.spec, err)
+		}
+		_, err = sc.Job(topo)
+		if tc.wantSub == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.spec, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: error %v, want substring %q", tc.spec, err, tc.wantSub)
+		}
+	}
+}
+
+// Scenario generation is deterministic: equal specs generate equal jobs
+// (the bursty PRNG included), and the seed really steers the draw.
+func TestScenarioDeterminism(t *testing.T) {
+	topo := DefaultTopology()
+	for _, spec := range []string{"uniform", "ramp", "bursty,amp=2,seed=7", "phaseshift"} {
+		a, err := mustScenarioJob(t, spec, topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := mustScenarioJob(t, spec, topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: generation is not deterministic", spec)
+		}
+	}
+	a, _ := mustScenarioJob(t, "bursty,seed=7", topo)
+	b, _ := mustScenarioJob(t, "bursty,seed=8", topo)
+	if reflect.DeepEqual(a.Ranks, b.Ranks) {
+		t.Error("bursty seeds 7 and 8 generated identical jobs")
+	}
+}
+
+func mustScenarioJob(t *testing.T, spec string, topo Topology) (Job, error) {
+	t.Helper()
+	sc, err := ParseScenario(spec)
+	if err != nil {
+		t.Fatalf("ParseScenario(%q): %v", spec, err)
+	}
+	return sc.Job(topo)
+}
+
+// A larger topology scales the default rank count with it.
+func TestScenarioFillsTopology(t *testing.T) {
+	topo := Topology{Chips: 2, CoresPerChip: 2, SMTWays: 2}
+	job, err := mustScenarioJob(t, "ramp,iters=2,base=4000", topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(job.Ranks) != 8 {
+		t.Errorf("2x2x2 ramp generated %d ranks, want 8", len(job.Ranks))
+	}
+}
+
+func TestNewScenarioSession(t *testing.T) {
+	m, err := NewMachine(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := ParseScenario("step,base=5000,iters=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.NewScenarioSession(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Balance(t.Context(), &PaperDynamic{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= 0 {
+		t.Errorf("Balance on a scenario session returned %d cycles", res.Cycles)
+	}
+	if _, err := m.NewScenarioSession(nil); err == nil {
+		t.Error("NewScenarioSession(nil) accepted")
+	}
+}

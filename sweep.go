@@ -183,7 +183,7 @@ func (r *SweepResult) WriteCSV(w io.Writer) error {
 			// Policy IDs contain commas between parameters, so the
 			// column is always quoted — RFC 4180 style (inner quotes
 			// doubled), which encoding/csv and spreadsheets both parse.
-			policyCol = `"` + strings.ReplaceAll(e.Policy, `"`, `""`) + `",`
+			policyCol = csvQuote(e.Policy) + ","
 		}
 		_, err := fmt.Fprintf(w, "%d,%s%s,%s,%d,%.9f,%.4f,%.6f\n",
 			i+1, policyCol, strings.Join(cpus, " "), strings.Join(prios, " "),
