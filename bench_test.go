@@ -11,7 +11,9 @@
 package smtbalance
 
 import (
+	"bytes"
 	"context"
+	"reflect"
 	"sort"
 	"testing"
 	"time"
@@ -332,6 +334,97 @@ func BenchmarkCacheHitSpeedup(b *testing.B) {
 	b.ReportMetric(warmTime.Seconds()*1000, "warm-ms")
 	if speedup < 10 {
 		b.Fatalf("cache speedup %.1fx < 10x (cold %v, warm %v)", speedup, coldTime, warmTime)
+	}
+}
+
+// BenchmarkPhaseSkipSpeedup measures the phase-skip fast path on the
+// Table V BT-MZ job (the paper's headline workload): a full exact
+// per-cycle run against the default run, which detects the steady-state
+// iteration and advances across repetitions analytically.  The two runs
+// must agree byte for byte — including the serialized trace — and the
+// fast path must be at least 5x faster; the benchmark fails otherwise,
+// so CI's bench smoke run guards both the speedup and the identity.
+// Record with the README recipe into BENCH_simcore_baseline.json.
+func BenchmarkPhaseSkipSpeedup(b *testing.B) {
+	// Table V BT-MZ zone loads (P1..P4 = 18/24/67/100% of the heaviest),
+	// ring exchanges each iteration and a closing barrier, iterated long
+	// enough that the steady state dominates, as in the paper's runs.
+	loads := []int64{39_600, 52_800, 147_400, 220_000}
+	job := Job{Name: "btmz-phaseskip"}
+	for r, n := range loads {
+		var prog []Phase
+		for i := 0; i < 72; i++ {
+			prog = append(prog, Compute("fpu", n), Exchange(16<<10, (r+1)%4, (r+3)%4))
+		}
+		prog = append(prog, Barrier())
+		job.Ranks = append(job.Ranks, prog)
+	}
+	pl := PinInOrder(4)
+	opts := &Options{NoOSNoise: true}
+	exactOpts := *opts
+	exactOpts.Exact = true
+	ctx := context.Background()
+	// runSim, not Machine.Run: the result cache keys both execution modes
+	// together, so cached replies would make the comparison vacuous.
+	run := func(o *Options) *Result {
+		res, err := runSim(ctx, job, pl, o, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res
+	}
+
+	// Identity gate: the fast path may only apply provably exact skips.
+	exact, fast := run(&exactOpts), run(opts)
+	if fast.SkippedCycles == 0 {
+		b.Fatal("phase-skip never engaged on the BT-MZ job")
+	}
+	if exact.SkippedCycles != 0 {
+		b.Fatalf("exact run skipped %d cycles", exact.SkippedCycles)
+	}
+	var be, bf bytes.Buffer
+	if err := exact.WriteTraceCSV(&be); err != nil {
+		b.Fatal(err)
+	}
+	if err := fast.WriteTraceCSV(&bf); err != nil {
+		b.Fatal(err)
+	}
+	if exact.Cycles != fast.Cycles || exact.Seconds != fast.Seconds ||
+		exact.ImbalancePct != fast.ImbalancePct || exact.Iterations != fast.Iterations ||
+		!reflect.DeepEqual(exact.Ranks, fast.Ranks) || !bytes.Equal(be.Bytes(), bf.Bytes()) {
+		b.Fatalf("fast run diverges from exact run: %d vs %d cycles, traces %d vs %d bytes",
+			fast.Cycles, exact.Cycles, bf.Len(), be.Len())
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run(opts)
+	}
+	b.StopTimer()
+
+	// Speedup gate, independent of b.N: median of paired exact/fast
+	// samples, so one scheduler hiccup cannot fail CI's -benchtime=1x run.
+	const samples = 3
+	ratios := make([]float64, 0, samples)
+	var exactSec, fastSec float64
+	for i := 0; i < samples; i++ {
+		t0 := time.Now()
+		run(&exactOpts)
+		t1 := time.Now()
+		run(opts)
+		t2 := time.Now()
+		de, df := t1.Sub(t0), t2.Sub(t1)
+		exactSec, fastSec = de.Seconds(), df.Seconds()
+		ratios = append(ratios, float64(de)/float64(df))
+	}
+	sort.Float64s(ratios)
+	speedup := ratios[samples/2]
+	b.ReportMetric(speedup, "phase-skip-speedup-x")
+	b.ReportMetric(exactSec*1000, "exact-ms")
+	b.ReportMetric(fastSec*1000, "fast-ms")
+	b.ReportMetric(100*float64(fast.SkippedCycles)/float64(fast.Cycles), "skipped-%")
+	if speedup < 5 {
+		b.Fatalf("phase-skip speedup %.2fx < 5x (median of %d paired runs)", speedup, samples)
 	}
 }
 

@@ -65,6 +65,11 @@ func (h *hasher) str(s string) {
 //   - LoadDrift: not hashed — like OnIteration its presence disables
 //     caching entirely (an arbitrary function cannot be hashed, and the
 //     loads it produces are not in the job).
+//   - Exact: deliberately not hashed — it selects between two execution
+//     strategies with byte-identical results (the phase-skip engine only
+//     applies provably exact repetitions; ff_test.go and the root
+//     differential tests enforce the identity), so both spellings must
+//     share cache entries.
 //
 // Job.Name is deliberately excluded: it labels diagnostics and never
 // reaches the simulated machine, so two jobs differing only in name
@@ -166,12 +171,14 @@ func matrixCellKey(topo Topology, scenarioID string, policyIDs []string) cacheKe
 
 // CacheStats reports a Machine's result-cache effectiveness.
 type CacheStats struct {
-	// Hits and Misses count lookups served from memory versus simulated.
-	Hits   int64 `json:"hits"`
+	// Hits counts lookups served from memory.
+	Hits int64 `json:"hits"`
+	// Misses counts lookups that had to simulate.
 	Misses int64 `json:"misses"`
-	// Results and Metrics are the current entry counts of the two cache
-	// layers (full run results and sweep-point metrics).
+	// Results is the entry count of the full-result cache layer
+	// (complete runs, traces included).
 	Results int `json:"results"`
+	// Metrics is the entry count of the sweep-point metrics layer.
 	Metrics int `json:"metrics"`
 }
 

@@ -78,3 +78,35 @@ func (p *Predictor) Reset() {
 	p.hist = [2]uint32{}
 	p.stats = [2]Stats{}
 }
+
+// FFNorm appends the predictor's behavioral state (counter table and
+// per-context histories) for the phase-skip engine's machine snapshots;
+// see isa.FastForwarder for the capture/advance contract.  The counters
+// and histories are pure state — no absolute cycle numbers — so they are
+// appended raw.
+func (p *Predictor) FFNorm(b []byte) []byte {
+	b = append(b, p.table...)
+	for _, h := range p.hist {
+		b = append(b, byte(h), byte(h>>8), byte(h>>16), byte(h>>24))
+	}
+	return b
+}
+
+// FFCtrs appends the extensive prediction counters.
+func (p *Predictor) FFCtrs(c []int64) []int64 {
+	for t := range p.stats {
+		c = append(c, int64(p.stats[t].Predictions), int64(p.stats[t].Mispredicts))
+	}
+	return c
+}
+
+// FFAdvance applies k windows' worth of counter deltas, consuming this
+// predictor's prefix of d and returning the rest.
+func (p *Predictor) FFAdvance(k int64, d []int64) []int64 {
+	for t := range p.stats {
+		p.stats[t].Predictions += uint64(k * d[0])
+		p.stats[t].Mispredicts += uint64(k * d[1])
+		d = d[2:]
+	}
+	return d
+}

@@ -134,6 +134,35 @@ type Stream interface {
 	Reset()
 }
 
+// FastForwarder is implemented by streams whose state the phase-skip
+// engine (internal/mpisim) can capture and advance analytically.  The
+// engine snapshots the whole machine at decision points, and when two
+// snapshots are byte-identical it knows the window between them will
+// repeat exactly, so it can apply k repetitions at once instead of
+// ticking through them.
+//
+// The contract ties the three methods together: FFNorm appends the
+// stream's *normalized* state — every field that influences future
+// output, with absolute cycle numbers expressed relative to "now" and
+// unbounded monotonic fields reduced to their behaviorally relevant
+// residue — such that two streams with equal norms produce identical
+// futures.  FFCtrs appends the raw extensive counters (positions,
+// clocks) that grow across a window even when the norm recurs.
+// FFAdvance consumes its own counters' prefix of d (the per-window
+// deltas), applies k windows' worth (counter += k·delta, absolute-cycle
+// fields += dt), and returns the unconsumed remainder of d.  The append
+// order of FFNorm, FFCtrs and FFAdvance must match exactly.
+//
+// A stream that cannot guarantee the contract returns false from
+// FFSupported, which disables phase-skip for the run (the simulator
+// falls back to exact per-cycle execution).
+type FastForwarder interface {
+	FFSupported() bool
+	FFNorm(b []byte) []byte
+	FFCtrs(c []int64) []int64
+	FFAdvance(k, dt int64, d []int64) []int64
+}
+
 // SliceStream replays a fixed instruction slice once.
 type SliceStream struct {
 	Instrs []Instr
@@ -276,6 +305,19 @@ func (Empty) Next(*Instr) bool { return false }
 
 // Reset implements Stream.
 func (Empty) Reset() {}
+
+// FFSupported implements FastForwarder: an empty stream has no state.
+func (Empty) FFSupported() bool { return true }
+
+// FFNorm implements FastForwarder; the tag byte distinguishes the type
+// from other stream implementations in a machine snapshot.
+func (Empty) FFNorm(b []byte) []byte { return append(b, 0xE0) }
+
+// FFCtrs implements FastForwarder.
+func (Empty) FFCtrs(c []int64) []int64 { return c }
+
+// FFAdvance implements FastForwarder.
+func (Empty) FFAdvance(k, dt int64, d []int64) []int64 { return d }
 
 // PrioritySet returns a single-instruction stream executing the or-nop
 // that requests hardware priority pri.

@@ -162,6 +162,13 @@ type Config struct {
 	// reproduction's reduced workload scale the cold first pass over a
 	// footprint would otherwise dominate the run.
 	ColdCaches bool
+	// Exact forces per-cycle execution, disabling the phase-skip fast
+	// path (see ffwd.go).  Results are byte-identical either way — the
+	// fast path only applies windows it can prove will repeat exactly —
+	// so Exact exists as an escape hatch and for the differential tests
+	// that enforce that equivalence.  Runs with an OnIteration or
+	// LoadDrift hook are implicitly exact.
+	Exact bool
 }
 
 // DefaultCommLatency models the paper's single-node SMP: exchanges between
@@ -238,6 +245,11 @@ type Result struct {
 	Ranks []RankResult
 	// Iterations is the number of barrier releases observed.
 	Iterations int
+	// SkippedCycles is the number of simulated cycles the phase-skip
+	// engine advanced analytically instead of executing; 0 under
+	// Config.Exact or when no recurrence was found.  It is a diagnostic:
+	// results are identical whatever its value.
+	SkippedCycles int64
 }
 
 // rankState tracks one rank's progress through its program.
@@ -278,6 +290,12 @@ type runtime struct {
 	barrierWaiting []int
 	barrierArrival []int64
 	iteration      int
+
+	// ff is the phase-skip engine; nil when disabled (Config.Exact,
+	// per-iteration hooks, or an uncapturable stream).  ffAnchor marks
+	// that an anchor event fired since the last main-loop boundary.
+	ff       *ffEngine
+	ffAnchor bool
 }
 
 // rankBase returns the disjoint address-space base of a rank.
@@ -355,6 +373,9 @@ func RunCtx(ctx context.Context, job *Job, pl Placement, cfg Config) (*Result, e
 	}
 	rt.byPID = make(map[int]*rankState, n)
 	rt.kern.OnProcessStreamEnd(rt.onStreamEnd)
+	if !cfg.Exact && cfg.OnIteration == nil && cfg.LoadDrift == nil {
+		rt.ff = &ffEngine{}
+	}
 
 	// A priority-7 rank asks for Single Thread mode: take its unused
 	// sibling context offline, as the paper's ST rows do.
@@ -415,6 +436,12 @@ func RunCtx(ctx context.Context, job *Job, pl Placement, cfg Config) (*Result, e
 		}
 		rt.mach.RunUntil(target)
 		rt.fireWakeups()
+		if rt.ffAnchor {
+			rt.ffAnchor = false
+			if rt.ff != nil && rt.remaining > 0 {
+				rt.ffOnAnchor()
+			}
+		}
 	}
 	if rt.remaining > 0 {
 		return nil, fmt.Errorf("mpisim: job %q exceeded MaxCycles=%d (deadlock or undersized budget)",
@@ -428,6 +455,9 @@ func RunCtx(ctx context.Context, job *Job, pl Placement, cfg Config) (*Result, e
 		Imbalance:  rt.tr.Imbalance(),
 		Trace:      rt.tr,
 		Iterations: rt.iteration,
+	}
+	if rt.ff != nil {
+		res.SkippedCycles = rt.ff.cycles
 	}
 	for _, rs := range rt.ranks {
 		st := rt.tr.RankStats(rs.id)
@@ -535,6 +565,15 @@ func (rt *runtime) startPhase(rs *rankState) {
 	ph := rs.program[rs.pc]
 	switch ph.Kind {
 	case PhaseCompute:
+		if rs.id == 0 && rt.ff != nil {
+			// Phase-skip anchor: rank 0 starting a compute phase is the
+			// once-per-iteration event the engine snapshots at.  Halting
+			// forces a main-loop boundary at this exact cycle, so
+			// snapshots always sample the same point of the iteration
+			// orbit (halting does not perturb machine state).
+			rt.ffAnchor = true
+			rt.mach.Halt()
+		}
 		rt.tr.Enter(rs.id, trace.Compute, now)
 		rs.inCompute = true
 		rs.computeStart = now
@@ -557,7 +596,9 @@ func (rt *runtime) startPhase(rs *rankState) {
 		rt.tr.Enter(rs.id, trace.Sync, now)
 		rt.kern.SetUserStream(rs.proc, spinLoad(rs.id).Stream())
 		rt.barrierWaiting = append(rt.barrierWaiting, rs.id)
-		rt.barrierArrival = append(rt.barrierArrival, now)
+		if rt.cfg.OnIteration != nil {
+			rt.barrierArrival = append(rt.barrierArrival, now)
+		}
 		if len(rt.barrierWaiting) == rt.activeRanks() {
 			rt.releaseBarrier()
 		}
@@ -585,16 +626,19 @@ func (rt *runtime) activeRanks() int {
 	return n
 }
 
-// releaseBarrier opens the barrier and advances all waiting ranks.
+// releaseBarrier opens the barrier and advances all waiting ranks.  The
+// arrival bookkeeping is only materialized when an OnIteration hook will
+// consume it — the release itself is on the simulator's hot path.
 func (rt *runtime) releaseBarrier() {
-	arrival := make([]int64, len(rt.ranks))
-	for i, id := range rt.barrierWaiting {
-		arrival[id] = rt.barrierArrival[i]
-	}
 	waiting := rt.barrierWaiting
+	arrivals := rt.barrierArrival
 	rt.barrierWaiting = nil
 	rt.barrierArrival = nil
 	if rt.cfg.OnIteration != nil {
+		arrival := make([]int64, len(rt.ranks))
+		for i, id := range waiting {
+			arrival[id] = arrivals[i]
+		}
 		pids := make([]int, len(rt.ranks))
 		comp := make([]int64, len(rt.ranks))
 		for _, rs := range rt.ranks {

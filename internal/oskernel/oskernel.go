@@ -317,6 +317,12 @@ func (k *Kernel) OnlineCPU(cpu int) error {
 type cpuStream struct {
 	k  *Kernel
 	cs *cpuState
+	// core/thr cache the topology mapping of cs.id: Next sits on the
+	// per-cycle decode path and the mapping never changes.
+	core, thr int
+	// noNoise short-circuits Next straight to the user stream when the
+	// kernel can never preempt it (no ticks, no daemon on this CPU).
+	noNoise bool
 
 	inHandler   bool
 	handlerLeft int64
@@ -332,6 +338,7 @@ type cpuStream struct {
 
 func newCPUStream(k *Kernel, cs *cpuState) *cpuStream {
 	s := &cpuStream{k: k, cs: cs}
+	s.core, s.thr = k.coreThread(cs.id)
 	s.kgen = workload.Load{
 		Kind: workload.FXU,
 		N:    1 << 62,
@@ -351,13 +358,20 @@ func newCPUStream(k *Kernel, cs *cpuState) *cpuStream {
 			s.nextDaemon = s.daemon.Period
 		}
 	}
+	s.noNoise = k.cfg.TickPeriod <= 0 && s.daemon == nil
 	return s
 }
 
 // Next implements isa.Stream.
 func (s *cpuStream) Next(in *isa.Instr) bool {
+	if s.noNoise && !s.inHandler && !s.inDaemon {
+		if p := s.cs.proc; p != nil && p.user != nil {
+			return p.user.Next(in)
+		}
+		return false
+	}
 	cycle := s.k.mach.Cycle()
-	core, thr := s.k.coreThread(s.cs.id)
+	core, thr := s.core, s.thr
 
 	if !s.inHandler && !s.inDaemon {
 		if s.k.cfg.TickPeriod > 0 && cycle >= s.nextTick {

@@ -113,6 +113,17 @@ type Chip struct {
 	hier   *mem.Hierarchy
 	cycle  int64
 	halted bool
+	// active counts contexts that are running or have instructions in
+	// flight, so the per-cycle idleness check is O(1).
+	active int
+	// ffMaxPeriod is the largest decode-allocation period consulted in a
+	// cycle-dependent way so far (see notePeriod); the phase-skip engine
+	// uses it as the modulus under which the cycle counter is behaviorally
+	// periodic.  Monotonic, at least 2 (complete/issue parity).
+	ffMaxPeriod int64
+	// decodeIn is decode's instruction scratch.  A local would escape
+	// through the stream interface call and allocate every cycle.
+	decodeIn isa.Instr
 
 	// onEmpty, if set, is invoked when a context's stream runs dry.  The
 	// handler may install a new stream (SetStream) and adjust priorities;
@@ -129,7 +140,7 @@ func New(cfg Config) (*Chip, error) {
 	if err != nil {
 		return nil, err
 	}
-	ch := &Chip{cfg: cfg, hier: hier}
+	ch := &Chip{cfg: cfg, hier: hier, ffMaxPeriod: 2}
 	for i := 0; i < cfg.Cores; i++ {
 		co := &core{
 			bp:   branch.New(cfg.BranchBits),
@@ -181,13 +192,28 @@ func (ch *Chip) checkCT(coreID, thread int) {
 	}
 }
 
+// noteBusy updates the active-context counter after a transition; was is
+// the context's busy state (running or in-flight work) before it.
+func (ch *Chip) noteBusy(ctx *context, was bool) {
+	now := ctx.running || ctx.count > 0
+	if now != was {
+		if now {
+			ch.active++
+		} else {
+			ch.active--
+		}
+	}
+}
+
 // SetStream installs s as the instruction stream of the given context; a
 // nil stream idles the context.  In-flight instructions are unaffected.
 func (ch *Chip) SetStream(coreID, thread int, s isa.Stream) {
 	ch.checkCT(coreID, thread)
 	ctx := &ch.cores[coreID].ctx[thread]
+	was := ctx.running || ctx.count > 0
 	ctx.stream = s
 	ctx.running = s != nil
+	ch.noteBusy(ctx, was)
 }
 
 // Running reports whether the context currently has a stream.
@@ -276,16 +302,7 @@ func (ch *Chip) InFlight(coreID, thread int) int {
 
 // AllIdle reports whether no context is running and no instruction is in
 // flight, i.e. further cycles cannot change architectural state.
-func (ch *Chip) AllIdle() bool {
-	for _, co := range ch.cores {
-		for t := range co.ctx {
-			if co.ctx[t].running || co.ctx[t].count > 0 {
-				return false
-			}
-		}
-	}
-	return true
-}
+func (ch *Chip) AllIdle() bool { return ch.active == 0 }
 
 // latency returns the execution latency of an instruction issued now.
 // Loads consult the cache hierarchy (and so must only be called once, at
@@ -310,6 +327,11 @@ func (ch *Chip) latency(coreID int, e *entry) int64 {
 // Step advances the chip by one cycle.
 func (ch *Chip) Step() {
 	for id, co := range ch.cores {
+		// A core with no running context and an empty window has nothing
+		// to complete, issue or decode; skip all three stages.
+		if !co.ctx[0].running && !co.ctx[1].running && co.windowUsed == 0 {
+			continue
+		}
 		ch.complete(co)
 		ch.issue(id, co)
 		ch.decode(id, co)
@@ -358,6 +380,9 @@ func (ch *Chip) complete(co *core) {
 			}
 			ctx.count--
 			co.windowUsed--
+			if ctx.count == 0 && !ctx.running {
+				ch.active--
+			}
 			ctx.stats.Completed++
 			budget--
 			progress = true
@@ -454,6 +479,32 @@ func (ch *Chip) issue(coreID int, co *core) {
 	}
 }
 
+// notePeriod widens ffMaxPeriod when this decode arbitration genuinely
+// consults the cycle residue.  Stealing makes most single-thread
+// situations cycle-invariant: an inactive context's shared-mode slots
+// always pass to the sibling, so only a schedule contested by two active
+// contexts, a throttled live thread, or a power-save thread depend on
+// the absolute cycle.  Callers pre-check Period > ffMaxPeriod.
+func (ch *Chip) notePeriod(co *core, inactive [2]bool) {
+	switch co.alloc.Mode {
+	case hwpri.ModeShared:
+		if inactive[0] || inactive[1] {
+			return
+		}
+	case hwpri.ModeThrottled:
+		if inactive[co.alloc.Favored] {
+			return
+		}
+	case hwpri.ModePowerSave:
+		if inactive[0] && inactive[1] {
+			return
+		}
+	default:
+		return
+	}
+	ch.ffMaxPeriod = int64(co.alloc.Period)
+}
+
 // decode runs the priority-arbitrated decode stage of one core: the
 // context owning this decode cycle feeds up to DecodeWidth instructions
 // into the shared window.
@@ -467,6 +518,9 @@ func (ch *Chip) issue(coreID int, co *core) {
 // favored thread cannot use.
 func (ch *Chip) decode(coreID int, co *core) {
 	inactive := [2]bool{!co.ctx[0].running, !co.ctx[1].running}
+	if int64(co.alloc.Period) > ch.ffMaxPeriod {
+		ch.notePeriod(co, inactive)
+	}
 	var owner int
 	if co.alloc.Mode == hwpri.ModeLeftover {
 		// The priority-1 thread takes only cycles the favored thread
@@ -490,13 +544,16 @@ func (ch *Chip) decode(coreID int, co *core) {
 	if co.ctx[1-owner].running && ch.cfg.ThreadWindowCap < cap {
 		cap = ch.cfg.ThreadWindowCap
 	}
-	var in isa.Instr
+	in := &ch.decodeIn
 	for n := 0; n < ch.cfg.DecodeWidth; n++ {
 		if co.windowUsed >= ch.cfg.WindowSize || ctx.count >= cap {
 			return
 		}
-		if !ctx.stream.Next(&in) {
+		if !ctx.stream.Next(in) {
 			ctx.running = false
+			if ctx.count == 0 {
+				ch.active--
+			}
 			if ch.onEmpty != nil {
 				ch.onEmpty(coreID, owner)
 			}
@@ -523,7 +580,7 @@ func (ch *Chip) decode(coreID int, co *core) {
 		case isa.OrNop:
 			ctx.stats.PrioritySets++
 			p := hwpri.Priority(in.Pri)
-			if p.Valid() && hwpri.CanSet(ctx.priv, p) {
+			if p.Valid() && hwpri.CanSet(ctx.priv, p) && p != ctx.prio {
 				ctx.prio = p
 				co.alloc = hwpri.Alloc(co.ctx[0].prio, co.ctx[1].prio)
 			}

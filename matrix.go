@@ -40,16 +40,19 @@ type MatrixOptions struct {
 
 // MatrixEntry is one (topology, scenario, policy) evaluation.
 type MatrixEntry struct {
-	// Topology, Scenario and Policy identify the cell: the topology
-	// string ("1x2x2"), the ScenarioID and the PolicyID.
+	// Topology is the cell's topology string ("1x2x2").
 	Topology string
+	// Scenario is the cell's canonical ScenarioID.
 	Scenario string
-	Policy   string
+	// Policy is the entry's canonical PolicyID.
+	Policy string
 	// Cycles, Seconds and ImbalancePct are the run's metrics, with the
 	// job pinned in order at medium priority — the pure policy
 	// comparison, where only online balancing differentiates entries.
-	Cycles       int64
-	Seconds      float64
+	Cycles int64
+	// Seconds is the run's simulated wall-clock time.
+	Seconds float64
+	// ImbalancePct is the paper's max-sync-% imbalance metric.
 	ImbalancePct float64
 	// Speedup is the entry's score: the cell's StaticPolicy execution
 	// time divided by this entry's.  Normalizing every cell against its

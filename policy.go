@@ -17,8 +17,8 @@ import (
 // a vanilla kernel (Options.VanillaKernel) every action is inert —
 // exactly the paper's argument for the kernel patch.
 type PriorityAction struct {
-	Rank     int
-	Priority Priority
+	Rank     int      // the MPI rank whose priority to rewrite
+	Priority Priority // the hardware thread priority to set
 }
 
 // Policy is a balancing algorithm: the paper's "smart allocation of
@@ -51,6 +51,8 @@ type Policy interface {
 // makes a policy safe for concurrent sweeps and its results cacheable.
 type PolicyBinder interface {
 	Policy
+	// Bind returns a fresh policy instance for one run of a job placed
+	// by pl on topo; the receiver itself must stay unmodified.
 	Bind(topo Topology, pl Placement) Policy
 }
 

@@ -194,6 +194,14 @@ type Options struct {
 	LoadDrift func(rank, phase int, n int64) int64
 	// MaxCycles aborts runs that stop progressing (0 = generous default).
 	MaxCycles int64
+	// Exact forces pure per-cycle execution, disabling the phase-skip
+	// fast path that detects steady-state iterations and advances across
+	// them analytically.  Results are byte-identical either way — the
+	// fast path only engages when a repetition is provably exact — so
+	// the flag exists for benchmarking the simulator itself and as a
+	// diagnostic escape hatch, not for accuracy.  Runs with OnIteration
+	// or LoadDrift hooks are implicitly exact.
+	Exact bool
 }
 
 // RankSummary is one rank's outcome.
@@ -231,6 +239,15 @@ type Result struct {
 	// Policy is the canonical identity (PolicyID) of the balancing
 	// policy that ran, "" if none was attached.
 	Policy string
+	// SkippedCycles counts simulated cycles the phase-skip fast path
+	// advanced analytically instead of ticking through (see
+	// Options.Exact).  Purely diagnostic: results are byte-identical
+	// whatever its value.  Zero when the run executed under
+	// Options.Exact or with OnIteration/LoadDrift hooks; a result served
+	// from a Machine's cache reports the value of the run that populated
+	// the entry (the cache deliberately keys both execution modes
+	// together).
+	SkippedCycles int64
 
 	tr *trace.Trace
 }
@@ -287,6 +304,7 @@ func (opts *Options) simConfig() mpisim.Config {
 		KernelSet:  true,
 		MaxCycles:  opts.MaxCycles,
 		ColdCaches: opts.ColdCaches,
+		Exact:      opts.Exact,
 	}
 	if drift := opts.LoadDrift; drift != nil {
 		cfg.LoadDrift = func(rank, idx int, load workload.Load) workload.Load {
@@ -409,12 +427,13 @@ func runSim(ctx context.Context, job Job, pl Placement, opts *Options, pol Polic
 		return nil, err
 	}
 	out := &Result{
-		Seconds:      res.Seconds,
-		Cycles:       res.Cycles,
-		ImbalancePct: res.Imbalance,
-		Iterations:   res.Iterations,
-		Policy:       PolicyID(pol),
-		tr:           res.Trace,
+		Seconds:       res.Seconds,
+		Cycles:        res.Cycles,
+		ImbalancePct:  res.Imbalance,
+		Iterations:    res.Iterations,
+		Policy:        PolicyID(pol),
+		SkippedCycles: res.SkippedCycles,
+		tr:            res.Trace,
 	}
 	if moves != nil {
 		out.BalancerMoves = *moves

@@ -120,9 +120,11 @@ type SweepEntry struct {
 	// Policy is the canonical identity (PolicyID) of the balancing
 	// policy this entry ran under; "" when the sweep had no policy axis.
 	Policy string
-	// Cycles, Seconds and ImbalancePct are the run's metrics.
-	Cycles       int64
-	Seconds      float64
+	// Cycles is the run's simulated cycle count.
+	Cycles int64
+	// Seconds is the run's simulated wall-clock time.
+	Seconds float64
+	// ImbalancePct is the paper's max-sync-% imbalance metric.
 	ImbalancePct float64
 	// Score is the objective value; entries are sorted by it ascending.
 	Score float64
