@@ -3,12 +3,20 @@ package smtbalance
 import (
 	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"sort"
 	"sync"
 
+	"repro/internal/diskcache"
 	"repro/internal/mpisim"
 	"repro/internal/sweep"
 )
+
+// cacheKeyVersion names the canonical cache-key format.  It is hashed
+// into every key (envJobKey's leading tag) and names the disk store's
+// directory, so bumping it on a format change invalidates both tiers
+// together.
+const cacheKeyVersion = "v2"
 
 // cacheKey identifies one deterministic simulator configuration: a
 // canonical SHA-256 over (topology, simulation options, job, placement).
@@ -76,8 +84,7 @@ func (h *hasher) str(s string) {
 // share cache entries.
 func envJobKey(topo Topology, opts Options, pol Policy, job Job) [sha256.Size]byte {
 	var h hasher
-	h.tag('v')
-	h.tag('2')
+	h.str(cacheKeyVersion)
 	topo = topo.normalized()
 	h.i64(int64(topo.Chips))
 	h.i64(int64(topo.CoresPerChip))
@@ -169,12 +176,24 @@ func matrixCellKey(topo Topology, scenarioID string, policyIDs []string) cacheKe
 	return sha256.Sum256(h.buf)
 }
 
-// CacheStats reports a Machine's result-cache effectiveness.
+// CacheStats reports a Machine's result-cache effectiveness.  The
+// number of simulations actually executed is Misses − Coalesced −
+// DiskHits: every lookup that neither hit memory, joined an identical
+// in-flight computation, nor was revived from disk ran the simulator.
 type CacheStats struct {
 	// Hits counts lookups served from memory.
 	Hits int64 `json:"hits"`
-	// Misses counts lookups that had to simulate.
+	// Misses counts lookups the in-memory tier could not answer.
 	Misses int64 `json:"misses"`
+	// Coalesced counts missed lookups that joined an identical
+	// in-flight computation (singleflight) instead of simulating a
+	// duplicate.
+	Coalesced int64 `json:"coalesced"`
+	// DiskHits counts missed lookups answered by the persistent disk
+	// tier (zero without Machine.UseDiskCache).
+	DiskHits int64 `json:"disk_hits"`
+	// DiskWrites counts records persisted to the disk tier.
+	DiskWrites int64 `json:"disk_writes"`
 	// Results is the entry count of the full-result cache layer
 	// (complete runs, traces included).
 	Results int `json:"results"`
@@ -182,22 +201,77 @@ type CacheStats struct {
 	Metrics int `json:"metrics"`
 }
 
+// keyRing is a bounded FIFO of cache keys backed by a circular buffer.
+// Eviction pops the head in place; the old `order = order[1:]` re-slice
+// kept every evicted key's slot reachable from the backing array, so a
+// long-running server's eviction order grew without bound even though
+// the map stayed capped.
+type keyRing struct {
+	buf  []cacheKey
+	head int // index of the oldest element
+	n    int // live element count
+}
+
+// len returns the number of queued keys.
+func (r *keyRing) len() int { return r.n }
+
+// push appends k, growing the buffer geometrically; an owner that only
+// pushes after evicting at its cap keeps the buffer at most one
+// doubling past that cap forever.
+func (r *keyRing) push(k cacheKey) {
+	if r.n == len(r.buf) {
+		grown := make([]cacheKey, max(16, 2*len(r.buf)))
+		for i := 0; i < r.n; i++ {
+			grown[i] = r.buf[(r.head+i)%len(r.buf)]
+		}
+		r.buf, r.head = grown, 0
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = k
+	r.n++
+}
+
+// pop removes and returns the oldest key, zeroing its slot for reuse.
+func (r *keyRing) pop() cacheKey {
+	if r.n == 0 {
+		panic("smtbalance: pop from empty key ring")
+	}
+	k := r.buf[r.head]
+	r.buf[r.head] = cacheKey{}
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return k
+}
+
 // resultCache is the Machine's deterministic result store.  It has two
 // layers keyed by the same canonical hash: full Results (with traces)
 // for Machine.Run, and lightweight sweep metrics for the many points a
 // sweep evaluates.  Both layers are bounded with FIFO eviction — the
 // simulator is pure, so eviction only costs a re-run, never correctness.
+//
+// Two optional tiers extend it: a flightGroup per layer coalesces
+// identical in-flight computations (Machine.runPolicy and the sweep
+// RunFn orchestrate join/publish), and a content-addressed disk store
+// (Machine.UseDiskCache) persists records across restarts and shares
+// them between replicas pointed at one directory.
 type resultCache struct {
 	mu           sync.Mutex
 	hits, misses int64
+	coalesced    int64
+	diskHits     int64
+	diskWrites   int64
 
 	runs     map[cacheKey]*Result
-	runOrder []cacheKey
+	runOrder keyRing
 	runCap   int
 
 	mets     map[cacheKey]sweep.Metrics
-	metOrder []cacheKey
+	metOrder keyRing
 	metCap   int
+
+	disk *diskcache.Store // nil without a disk tier
+
+	runFlights flightGroup[*Result]
+	metFlights flightGroup[sweep.Metrics]
 }
 
 // Default cache bounds: full results carry traces (tens of KB each),
@@ -236,12 +310,10 @@ func (c *resultCache) putRun(k cacheKey, res *Result) {
 		return
 	}
 	if len(c.runs) >= c.runCap {
-		evict := c.runOrder[0]
-		c.runOrder = c.runOrder[1:]
-		delete(c.runs, evict)
+		delete(c.runs, c.runOrder.pop())
 	}
 	c.runs[k] = res.clone()
-	c.runOrder = append(c.runOrder, k)
+	c.runOrder.push(k)
 }
 
 func (c *resultCache) getMetrics(k cacheKey) (sweep.Metrics, bool) {
@@ -263,27 +335,130 @@ func (c *resultCache) putMetrics(k cacheKey, met sweep.Metrics) {
 		return
 	}
 	if len(c.mets) >= c.metCap {
-		evict := c.metOrder[0]
-		c.metOrder = c.metOrder[1:]
-		delete(c.mets, evict)
+		delete(c.mets, c.metOrder.pop())
 	}
 	c.mets[k] = met
-	c.metOrder = append(c.metOrder, k)
+	c.metOrder.push(k)
 }
 
 func (c *resultCache) clear() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.runs = make(map[cacheKey]*Result)
-	c.runOrder = nil
+	c.runOrder = keyRing{}
 	c.mets = make(map[cacheKey]sweep.Metrics)
-	c.metOrder = nil
+	c.metOrder = keyRing{}
 }
 
 func (c *resultCache) stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Results: len(c.runs), Metrics: len(c.mets)}
+	return CacheStats{
+		Hits: c.hits, Misses: c.misses,
+		Coalesced: c.coalesced, DiskHits: c.diskHits, DiskWrites: c.diskWrites,
+		Results: len(c.runs), Metrics: len(c.mets),
+	}
+}
+
+// noteCoalesced counts a lookup that joined an in-flight computation.
+func (c *resultCache) noteCoalesced() {
+	c.mu.Lock()
+	c.coalesced++
+	c.mu.Unlock()
+}
+
+// setDisk attaches (or detaches, with nil) the persistent tier.
+func (c *resultCache) setDisk(store *diskcache.Store) {
+	c.mu.Lock()
+	c.disk = store
+	c.mu.Unlock()
+}
+
+// diskStore returns the attached persistent tier, or nil.
+func (c *resultCache) diskStore() *diskcache.Store {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.disk
+}
+
+// diskKey renders a cache key as the disk store's content address.  The
+// record kind ("run" or "met") is part of the address: both layers hash
+// the same configuration to the same bytes, but their records differ.
+func diskKey(k cacheKey, kind string) string {
+	return hex.EncodeToString(k[:]) + "-" + kind
+}
+
+// getRunDisk revives a full result from the disk tier.  All failures —
+// no tier, absent record, IO error, corrupt record — degrade to a miss;
+// the disk can slow a cold start down, never break a request.
+func (c *resultCache) getRunDisk(k cacheKey) (*Result, bool) {
+	store := c.diskStore()
+	if store == nil {
+		return nil, false
+	}
+	data, ok, err := store.Get(diskKey(k, "run"))
+	if err != nil || !ok {
+		return nil, false
+	}
+	res, err := decodeResult(data)
+	if err != nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	c.diskHits++
+	c.mu.Unlock()
+	return res, true
+}
+
+// putRunDisk persists a full result, best-effort.
+func (c *resultCache) putRunDisk(k cacheKey, res *Result) {
+	store := c.diskStore()
+	if store == nil {
+		return
+	}
+	data, ok := encodeResult(res)
+	if !ok {
+		return
+	}
+	if store.Put(diskKey(k, "run"), data) == nil {
+		c.mu.Lock()
+		c.diskWrites++
+		c.mu.Unlock()
+	}
+}
+
+// getMetricsDisk revives a sweep-point metrics record from the disk
+// tier, with the same degrade-to-miss failure handling as getRunDisk.
+func (c *resultCache) getMetricsDisk(k cacheKey) (sweep.Metrics, bool) {
+	store := c.diskStore()
+	if store == nil {
+		return sweep.Metrics{}, false
+	}
+	data, ok, err := store.Get(diskKey(k, "met"))
+	if err != nil || !ok {
+		return sweep.Metrics{}, false
+	}
+	met, err := decodeMetrics(data)
+	if err != nil {
+		return sweep.Metrics{}, false
+	}
+	c.mu.Lock()
+	c.diskHits++
+	c.mu.Unlock()
+	return met, true
+}
+
+// putMetricsDisk persists a sweep-point metrics record, best-effort.
+func (c *resultCache) putMetricsDisk(k cacheKey, met sweep.Metrics) {
+	store := c.diskStore()
+	if store == nil {
+		return
+	}
+	if store.Put(diskKey(k, "met"), encodeMetrics(met)) == nil {
+		c.mu.Lock()
+		c.diskWrites++
+		c.mu.Unlock()
+	}
 }
 
 // clone returns an independent copy of the result: the per-rank slice is

@@ -44,15 +44,25 @@
 //
 // The serve subcommand exposes the simulator as an HTTP JSON API — one
 // shared Machine, its result cache answering repeated configurations
-// from memory:
+// from memory, identical in-flight requests coalescing into one
+// simulation, and (with -cache-dir) a persistent disk tier surviving
+// restarts; load beyond the admission limits is shed with 429:
 //
-//	mtbalance serve -addr localhost:8080
+//	mtbalance serve -addr localhost:8080 -cache-dir /var/cache/mtbalance
 //	curl -s localhost:8080/healthz
 //	curl -s -X POST localhost:8080/v1/run -d @job.json
 //	curl -s -X POST localhost:8080/v1/matrix -d '{"scenarios":["ramp"],"policies":["static","dyn"]}'
 //
+// The loadtest subcommand drives a running server and reports
+// throughput, latency percentiles, shed load, and the cache tiers'
+// absorption (hits, coalesced, disk revivals):
+//
+//	mtbalance loadtest -url http://localhost:8080 -c 16 -duration 10s
+//	mtbalance loadtest -url http://localhost:8080 -out BENCH_serve_baseline.json
+//
 // Run `mtbalance run -h` / `mtbalance sweep -h` / `mtbalance matrix -h`
-// / `mtbalance serve -h` for the full flag lists.
+// / `mtbalance serve -h` / `mtbalance loadtest -h` for the full flag
+// lists.
 package main
 
 import (
@@ -76,6 +86,9 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "matrix" {
 		os.Exit(runMatrix(os.Args[2:]))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "loadtest" {
+		os.Exit(runLoadtest(os.Args[2:]))
 	}
 	var (
 		experiment = flag.String("experiment", "all", "which experiment to run (table2, table3, table4, table5, table6, figure1, kernelpatch, dynamic, extrinsic, scaling, all)")

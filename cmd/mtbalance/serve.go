@@ -21,7 +21,12 @@ const serveUsage = `usage: mtbalance serve [flags]
 
 Serve the simulator over an HTTP JSON API.  One Machine (topology +
 result cache) is shared across all requests, so identical
-configurations are answered from memory.  Endpoints:
+configurations are answered from memory; identical requests in flight
+at the same moment coalesce into one simulation.  -cache-dir adds a
+persistent disk tier under the memory cache, shared across restarts
+and across replicas pointed at the same directory.  Load beyond
+-max-inflight executing plus -max-queue waiting requests is shed with
+429 and a Retry-After header.  Endpoints:
 
     GET  /healthz    liveness, topology, cache statistics
     POST /v1/run     run one job/placement
@@ -46,11 +51,15 @@ func runServe(args []string) int {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	topoOf := topologyFlags(fs)
 	var (
-		addr     = fs.String("addr", "localhost:8080", "listen address")
-		timeout  = fs.Duration("timeout", 120*time.Second, "per-request simulation budget")
-		workers  = fs.Int("workers", 0, "sweep worker-pool size (0 = one per CPU)")
-		maxN     = fs.Int64("max-compute-n", 10_000_000, "largest accepted compute phase, in instructions")
-		maxRanks = fs.Int("max-ranks", 64, "largest accepted job, in ranks")
+		addr         = fs.String("addr", "localhost:8080", "listen address")
+		timeout      = fs.Duration("timeout", 120*time.Second, "per-request simulation budget")
+		workers      = fs.Int("workers", 0, "sweep worker-pool size (0 = one per CPU)")
+		maxN         = fs.Int64("max-compute-n", 10_000_000, "largest accepted compute phase, in instructions")
+		maxRanks     = fs.Int("max-ranks", 64, "largest accepted job, in ranks")
+		cacheDir     = fs.String("cache-dir", "", "persistent result-cache directory, shared across restarts and replicas (empty: memory only)")
+		maxInFlight  = fs.Int("max-inflight", 0, "concurrently executing simulation requests (0 = 2 x GOMAXPROCS)")
+		maxQueue     = fs.Int("max-queue", 0, "requests waiting for a slot before 429s (0 = 4 x max-inflight, negative = no queue)")
+		writeTimeout = fs.Duration("write-timeout", 30*time.Second, "per-write response deadline; streams extend it per chunk")
 	)
 	fs.Usage = func() {
 		fmt.Fprint(os.Stderr, serveUsage)
@@ -68,11 +77,20 @@ func runServe(args []string) int {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
+	if *cacheDir != "" {
+		if err := m.UseDiskCache(*cacheDir); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	}
 	handler := serve.NewHandler(m, serve.Config{
 		Timeout:      *timeout,
 		SweepWorkers: *workers,
 		MaxComputeN:  *maxN,
 		MaxRanks:     *maxRanks,
+		MaxInFlight:  *maxInFlight,
+		MaxQueue:     *maxQueue,
+		WriteTimeout: *writeTimeout,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

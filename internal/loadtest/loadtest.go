@@ -1,0 +1,334 @@
+// Package loadtest drives a running mtbalance serve instance with a
+// closed-loop worker fleet and reports what the serving tier actually
+// delivered: request throughput, a latency distribution (percentiles
+// and a log-spaced histogram), how many requests were shed by admission
+// control, and — from the server's own /healthz counters — how much of
+// the load was absorbed by the cache tiers (memory hits, singleflight
+// coalescing, disk revivals) instead of fresh simulation.
+//
+// The workload is deliberately cache-friendly in a controlled way:
+// Config.Distinct job variants are cycled round-robin across all
+// workers, so with C workers and D distinct jobs every configuration is
+// requested ~C/D times concurrently — exactly the thundering-herd shape
+// the coalescing and cache layers exist for.  Distinct=1 degenerates to
+// one job hammered by everyone (pure coalescing plus cache hits); a
+// large Distinct approaches an all-miss sweep.
+package loadtest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config shapes one load-test run.  Zero values select defaults.
+type Config struct {
+	// URL is the server's base URL, e.g. "http://localhost:8080".
+	URL string
+	// Concurrency is the closed-loop worker count (default 8).
+	Concurrency int
+	// Duration bounds the run (default 5s).  Workers stop issuing new
+	// requests once it elapses; in-flight requests drain.
+	Duration time.Duration
+	// Distinct is the number of distinct job variants cycled round-robin
+	// (default 4).  Lower means more coalescing and cache hits.
+	Distinct int
+	// Ranks is each job's rank count (default 4).
+	Ranks int
+	// ComputeN is the base per-phase instruction count (default 40000);
+	// variants and ranks scale it so every variant is a distinct cache
+	// key with an imbalanced rank profile.
+	ComputeN int64
+	// Timeout bounds one request (default 30s).
+	Timeout time.Duration
+	// Client optionally overrides the HTTP client (tests point it at an
+	// in-process handler).
+	Client *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.Concurrency <= 0 {
+		c.Concurrency = 8
+	}
+	if c.Duration <= 0 {
+		c.Duration = 5 * time.Second
+	}
+	if c.Distinct <= 0 {
+		c.Distinct = 4
+	}
+	if c.Ranks <= 0 {
+		c.Ranks = 4
+	}
+	if c.ComputeN <= 0 {
+		c.ComputeN = 40_000
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	return c
+}
+
+// Percentiles summarizes the latency distribution in milliseconds.
+type Percentiles struct {
+	P50 float64 `json:"p50_ms"`
+	P90 float64 `json:"p90_ms"`
+	P99 float64 `json:"p99_ms"`
+	Max float64 `json:"max_ms"`
+}
+
+// Bucket is one bar of the latency histogram: Count requests finished
+// in at most UpToMs milliseconds (and more than the previous bucket's).
+type Bucket struct {
+	UpToMs float64 `json:"up_to_ms"`
+	Count  int64   `json:"count"`
+}
+
+// CacheDelta is the change in the server's cache counters across the
+// run, read from /healthz before and after.  Simulations actually
+// executed for the run's misses is Misses − Coalesced − DiskHits.
+type CacheDelta struct {
+	Hits       int64 `json:"hits"`
+	Misses     int64 `json:"misses"`
+	Coalesced  int64 `json:"coalesced"`
+	DiskHits   int64 `json:"disk_hits"`
+	DiskWrites int64 `json:"disk_writes"`
+}
+
+// Report is a finished load test.
+type Report struct {
+	// Config echo, for reproducibility of the recorded baseline.
+	URL         string  `json:"url"`
+	Concurrency int     `json:"concurrency"`
+	Distinct    int     `json:"distinct"`
+	Ranks       int     `json:"ranks"`
+	DurationSec float64 `json:"duration_sec"`
+
+	// Outcome counts: Requests = OK + Shed + Errors.
+	Requests int64 `json:"requests"`
+	OK       int64 `json:"ok"`
+	// Shed counts 429 replies from admission control.
+	Shed   int64 `json:"shed"`
+	Errors int64 `json:"errors"`
+
+	// ThroughputRPS is successful requests per wall-clock second.
+	ThroughputRPS float64 `json:"throughput_rps"`
+	// Latency covers successful requests only.
+	Latency   Percentiles `json:"latency"`
+	Histogram []Bucket    `json:"histogram"`
+
+	Cache CacheDelta `json:"cache_delta"`
+}
+
+// health is the slice of the server's /healthz reply the harness reads.
+type health struct {
+	Cache CacheDelta `json:"cache"`
+}
+
+// Run drives the server at cfg.URL until cfg.Duration elapses or ctx is
+// cancelled (the partial report is still returned on cancellation; only
+// setup failures are errors).
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if cfg.URL == "" {
+		return nil, fmt.Errorf("loadtest: no server URL")
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: cfg.Timeout}
+	}
+
+	before, err := readHealth(ctx, client, cfg.URL)
+	if err != nil {
+		return nil, fmt.Errorf("loadtest: server not reachable: %w", err)
+	}
+
+	bodies := make([][]byte, cfg.Distinct)
+	for v := range bodies {
+		bodies[v] = runBody(cfg, v)
+	}
+
+	var (
+		requests, ok, shed, errs atomic.Int64
+		next                     atomic.Int64
+		mu                       sync.Mutex
+		latencies                []float64 // ms, successful requests
+	)
+	runCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for runCtx.Err() == nil {
+				body := bodies[int(next.Add(1)-1)%cfg.Distinct]
+				requests.Add(1)
+				t0 := time.Now()
+				status, err := post(runCtx, client, cfg.URL+"/v1/run", body)
+				switch {
+				case err != nil:
+					if runCtx.Err() != nil {
+						requests.Add(-1) // cut off by the deadline, not a real outcome
+						return
+					}
+					errs.Add(1)
+				case status == http.StatusTooManyRequests:
+					shed.Add(1)
+				case status == http.StatusOK:
+					ok.Add(1)
+					ms := float64(time.Since(t0)) / float64(time.Millisecond)
+					mu.Lock()
+					latencies = append(latencies, ms)
+					mu.Unlock()
+				default:
+					errs.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	after, err := readHealth(ctx, client, cfg.URL)
+	if err != nil {
+		return nil, fmt.Errorf("loadtest: /healthz after run: %w", err)
+	}
+
+	rep := &Report{
+		URL:         cfg.URL,
+		Concurrency: cfg.Concurrency,
+		Distinct:    cfg.Distinct,
+		Ranks:       cfg.Ranks,
+		DurationSec: elapsed.Seconds(),
+		Requests:    requests.Load(),
+		OK:          ok.Load(),
+		Shed:        shed.Load(),
+		Errors:      errs.Load(),
+		Cache: CacheDelta{
+			Hits:       after.Cache.Hits - before.Cache.Hits,
+			Misses:     after.Cache.Misses - before.Cache.Misses,
+			Coalesced:  after.Cache.Coalesced - before.Cache.Coalesced,
+			DiskHits:   after.Cache.DiskHits - before.Cache.DiskHits,
+			DiskWrites: after.Cache.DiskWrites - before.Cache.DiskWrites,
+		},
+	}
+	if elapsed > 0 {
+		rep.ThroughputRPS = float64(rep.OK) / elapsed.Seconds()
+	}
+	rep.Latency, rep.Histogram = summarize(latencies)
+	return rep, nil
+}
+
+// runBody builds variant v's /v1/run request: an imbalanced
+// compute+barrier job whose instruction counts encode the variant, so
+// each variant is one distinct cache key.
+func runBody(cfg Config, v int) []byte {
+	type compute struct {
+		Kind string `json:"kind"`
+		N    int64  `json:"n"`
+	}
+	type phase struct {
+		Compute *compute `json:"compute,omitempty"`
+		Barrier bool     `json:"barrier,omitempty"`
+	}
+	type job struct {
+		Name  string    `json:"name"`
+		Ranks [][]phase `json:"ranks"`
+	}
+	j := job{Name: fmt.Sprintf("loadtest-%d", v)}
+	for r := 0; r < cfg.Ranks; r++ {
+		n := cfg.ComputeN + int64(v)*1000
+		if r%2 == 1 {
+			n *= 4 // the paper's imbalanced-pair shape
+		}
+		j.Ranks = append(j.Ranks, []phase{
+			{Compute: &compute{Kind: "fpu", N: n}},
+			{Barrier: true},
+		})
+	}
+	body, err := json.Marshal(struct {
+		Job job `json:"job"`
+	}{j})
+	if err != nil {
+		panic(err) // unreachable: plain data
+	}
+	return body
+}
+
+func post(ctx context.Context, client *http.Client, url string, body []byte) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body) // drain for connection reuse
+	return resp.StatusCode, nil
+}
+
+func readHealth(ctx context.Context, client *http.Client, url string) (*health, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/healthz", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/healthz replied %s", resp.Status)
+	}
+	var h health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+// summarize reduces raw latencies (ms) to percentiles and a log-spaced
+// histogram (bucket bounds double from 0.25ms; the tail collects in the
+// last bucket that covers the observed max).
+func summarize(ms []float64) (Percentiles, []Bucket) {
+	if len(ms) == 0 {
+		return Percentiles{}, nil
+	}
+	sort.Float64s(ms)
+	q := func(p float64) float64 {
+		i := int(p*float64(len(ms))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(ms) {
+			i = len(ms) - 1
+		}
+		return ms[i]
+	}
+	pct := Percentiles{P50: q(0.50), P90: q(0.90), P99: q(0.99), Max: ms[len(ms)-1]}
+
+	var buckets []Bucket
+	bound := 0.25
+	i := 0
+	for i < len(ms) {
+		n := int64(0)
+		for i < len(ms) && ms[i] <= bound {
+			n++
+			i++
+		}
+		buckets = append(buckets, Bucket{UpToMs: bound, Count: n})
+		bound *= 2
+	}
+	return pct, buckets
+}

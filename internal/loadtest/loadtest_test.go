@@ -1,0 +1,82 @@
+package loadtest
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	smtbalance "repro"
+	"repro/internal/serve"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	m, err := smtbalance.NewMachine(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(serve.NewHandler(m, serve.Config{}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestRunAgainstServer(t *testing.T) {
+	srv := newTestServer(t)
+	// ComputeN is tiny on purpose: under -race on a single-CPU box a
+	// big simulation can outlive the whole measurement window, leaving
+	// zero completed requests to assert on.
+	rep, err := Run(t.Context(), Config{
+		URL:         srv.URL,
+		Concurrency: 4,
+		Duration:    600 * time.Millisecond,
+		Distinct:    2,
+		ComputeN:    500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 || rep.OK == 0 {
+		t.Fatalf("no traffic: %+v", rep)
+	}
+	if rep.Requests != rep.OK+rep.Shed+rep.Errors {
+		t.Errorf("requests %d != ok %d + shed %d + errors %d", rep.Requests, rep.OK, rep.Shed, rep.Errors)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("errors = %d, want 0", rep.Errors)
+	}
+	// 4 workers cycling 2 distinct jobs: after the first two simulations
+	// everything is a memory hit, and the first herd coalesces.
+	if rep.Cache.Hits == 0 {
+		t.Errorf("cache delta shows no hits: %+v", rep.Cache)
+	}
+	if sims := rep.Cache.Misses - rep.Cache.Coalesced - rep.Cache.DiskHits; sims != 2 {
+		t.Errorf("simulations executed = %d, want 2 (misses %d, coalesced %d, disk hits %d)",
+			sims, rep.Cache.Misses, rep.Cache.Coalesced, rep.Cache.DiskHits)
+	}
+	if rep.Latency.P50 <= 0 || rep.Latency.Max < rep.Latency.P99 || rep.Latency.P99 < rep.Latency.P50 {
+		t.Errorf("implausible latency summary: %+v", rep.Latency)
+	}
+	var total int64
+	for _, b := range rep.Histogram {
+		total += b.Count
+	}
+	if total != rep.OK {
+		t.Errorf("histogram holds %d samples, want %d", total, rep.OK)
+	}
+	if rep.ThroughputRPS <= 0 {
+		t.Errorf("throughput = %v, want > 0", rep.ThroughputRPS)
+	}
+}
+
+func TestRunRequiresURL(t *testing.T) {
+	if _, err := Run(t.Context(), Config{}); err == nil {
+		t.Fatal("Run with no URL succeeded")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	pct, hist := summarize(nil)
+	if pct != (Percentiles{}) || hist != nil {
+		t.Fatalf("summarize(nil) = %+v, %v", pct, hist)
+	}
+}

@@ -1,0 +1,359 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	smtbalance "repro"
+)
+
+// getHealth fetches and decodes /healthz.
+func getHealth(t *testing.T, url string) Health {
+	t.Helper()
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// TestHealthzReportsServeStats pins the admission limits' appearance in
+// the health reply.
+func TestHealthzReportsServeStats(t *testing.T) {
+	ts := newTestServer(t, Config{MaxInFlight: 3, MaxQueue: 5})
+	h := getHealth(t, ts.URL)
+	if h.Serve.MaxInFlight != 3 || h.Serve.MaxQueue != 5 {
+		t.Errorf("serve stats = %+v, want limits 3/5", h.Serve)
+	}
+	if h.Serve.InFlight != 0 || h.Serve.Queued != 0 || h.Serve.Rejected != 0 {
+		t.Errorf("idle server reports activity: %+v", h.Serve)
+	}
+}
+
+// TestOverloadSheds429 saturates a one-slot, no-queue server with a
+// long sweep and checks that the next request is shed immediately with
+// 429 and a Retry-After hint instead of queueing.
+func TestOverloadSheds429(t *testing.T) {
+	ts := newTestServer(t, Config{MaxInFlight: 1, MaxQueue: -1, RetryAfter: 2 * time.Second})
+
+	// A 625-configuration sweep of slow-ish runs: holds the only slot
+	// for many seconds, but dies promptly when we cancel the request.
+	sweepBody := `{
+	  "job": {"ranks": [
+	    [{"compute": {"kind": "fpu", "n": 1000000}}, {"barrier": true}],
+	    [{"compute": {"kind": "fpu", "n": 1000000}}, {"barrier": true}],
+	    [{"compute": {"kind": "fpu", "n": 1000000}}, {"barrier": true}],
+	    [{"compute": {"kind": "fpu", "n": 1000000}}, {"barrier": true}]
+	  ]},
+	  "space": {"priorities": [2, 3, 4, 5, 6]}
+	}`
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/sweep", strings.NewReader(sweepBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+
+	// Wait for the sweep to occupy the slot.
+	deadline := time.Now().Add(10 * time.Second)
+	for getHealth(t, ts.URL).Serve.InFlight != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("sweep never showed up in flight")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, data := postJSON(t, ts.URL+"/v1/run", runBody)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated server returned %d, want 429: %s", resp.StatusCode, data)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "2" {
+		t.Errorf("Retry-After = %q, want \"2\"", ra)
+	}
+	var e errorJSON
+	if err := json.Unmarshal(data, &e); err != nil || e.Error == "" {
+		t.Errorf("429 body not {\"error\": ...}: %s", data)
+	}
+	if h := getHealth(t, ts.URL); h.Serve.Rejected != 1 {
+		t.Errorf("rejected counter = %d, want 1", h.Serve.Rejected)
+	}
+
+	// Cancelling the sweep frees the slot; the next run is admitted.
+	cancel()
+	<-errc
+	deadline = time.Now().Add(10 * time.Second)
+	for getHealth(t, ts.URL).Serve.InFlight != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("cancelled sweep never released its slot")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if resp, data := postJSON(t, ts.URL+"/v1/run", runBody); resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-overload run returned %d: %s", resp.StatusCode, data)
+	}
+}
+
+// TestConcurrentIdenticalRunsCoalesce is the serving tier's singleflight
+// proof: a herd of identical requests must execute exactly one
+// simulation — every other request either joined the in-flight run or
+// hit the cache — and every reply must be byte-identical.
+func TestConcurrentIdenticalRunsCoalesce(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	// Big enough that the herd overlaps the leader's simulation.
+	body := `{"job": {"ranks": [
+		[{"compute": {"kind": "fpu", "n": 400000}}, {"barrier": true}],
+		[{"compute": {"kind": "fpu", "n": 1600000}}, {"barrier": true}],
+		[{"compute": {"kind": "fpu", "n": 400000}}, {"barrier": true}],
+		[{"compute": {"kind": "fpu", "n": 1600000}}, {"barrier": true}]
+	]}}`
+	const herd = 8
+	bodies := make([]string, herd)
+	var wg sync.WaitGroup
+	for i := 0; i < herd; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Errorf("herd request: %v", err)
+				return
+			}
+			data, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil || resp.StatusCode != http.StatusOK {
+				t.Errorf("herd request: status %d, err %v", resp.StatusCode, err)
+				return
+			}
+			bodies[i] = string(data)
+		}()
+	}
+	wg.Wait()
+	for i := 1; i < herd; i++ {
+		if bodies[i] != bodies[0] {
+			t.Errorf("reply %d differs from reply 0:\n%s\nvs\n%s", i, bodies[i], bodies[0])
+		}
+	}
+	h := getHealth(t, ts.URL)
+	sims := h.Cache.Misses - h.Cache.Coalesced - h.Cache.DiskHits
+	if sims != 1 {
+		t.Errorf("herd of %d executed %d simulations, want 1 (cache %+v)", herd, sims, h.Cache)
+	}
+	if h.Cache.Hits+h.Cache.Coalesced != herd-1 {
+		t.Errorf("hits %d + coalesced %d != %d non-leader requests", h.Cache.Hits, h.Cache.Coalesced, herd-1)
+	}
+}
+
+// TestDiskCacheSurvivesRestart runs a job on a disk-backed server,
+// restarts the serving stack on the same directory, and checks the
+// replay is answered from disk byte-identically with zero simulations.
+func TestDiskCacheSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	serveOnce := func() (*httptest.Server, func()) {
+		m, err := smtbalance.NewMachine(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.UseDiskCache(dir); err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(NewHandler(m, Config{}))
+		return ts, ts.Close
+	}
+
+	ts1, close1 := serveOnce()
+	resp, first := postJSON(t, ts1.URL+"/v1/run", runBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first run returned %d: %s", resp.StatusCode, first)
+	}
+	if h := getHealth(t, ts1.URL); h.Cache.DiskWrites == 0 {
+		t.Errorf("disk-backed run recorded no disk writes: %+v", h.Cache)
+	}
+	close1()
+
+	ts2, close2 := serveOnce()
+	defer close2()
+	resp, replay := postJSON(t, ts2.URL+"/v1/run", runBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("replay returned %d: %s", resp.StatusCode, replay)
+	}
+	if string(replay) != string(first) {
+		t.Errorf("disk-revived reply differs:\n%s\nvs\n%s", replay, first)
+	}
+	h := getHealth(t, ts2.URL)
+	if h.Cache.DiskHits == 0 {
+		t.Errorf("replay not served from disk: %+v", h.Cache)
+	}
+	if sims := h.Cache.Misses - h.Cache.Coalesced - h.Cache.DiskHits; sims != 0 {
+		t.Errorf("replay executed %d simulations, want 0 (cache %+v)", sims, h.Cache)
+	}
+}
+
+// flushRecorder captures the response body length at every Flush, so a
+// test can prove the stream left the handler chunk by chunk rather than
+// as one buffered write.
+type flushRecorder struct {
+	*httptest.ResponseRecorder
+	flushLens []int
+}
+
+func (f *flushRecorder) Flush() {
+	f.flushLens = append(f.flushLens, f.Body.Len())
+}
+
+// TestSweepStreamsIncrementally is the regression test for the buffered
+// /v1/sweep: the first ranked entry must be written and flushed on its
+// own, before the rest of the stream exists in the response — the old
+// handler built the entire reply first.
+func TestSweepStreamsIncrementally(t *testing.T) {
+	m, err := smtbalance.NewMachine(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHandler(m, Config{})
+	body := `{
+	  "job": {"ranks": [
+	    [{"compute": {"kind": "fpu", "n": 2000}}, {"barrier": true}],
+	    [{"compute": {"kind": "fpu", "n": 8000}}, {"barrier": true}],
+	    [{"compute": {"kind": "fpu", "n": 2000}}, {"barrier": true}],
+	    [{"compute": {"kind": "fpu", "n": 8000}}, {"barrier": true}]
+	  ]},
+	  "space": {"fix_pairing": true, "priorities": [4, 6]}
+	}`
+	req := httptest.NewRequest(http.MethodPost, "/v1/sweep", strings.NewReader(body))
+	fr := &flushRecorder{ResponseRecorder: httptest.NewRecorder()}
+	h.ServeHTTP(fr, req)
+	if fr.Code != http.StatusOK {
+		t.Fatalf("sweep returned %d: %s", fr.Code, fr.Body)
+	}
+	lines := strings.Split(strings.TrimSpace(fr.Body.String()), "\n")
+	if len(lines) != 17 { // 16 entries + done record
+		t.Fatalf("stream has %d lines, want 17", len(lines))
+	}
+	// One flush per entry plus the terminal record...
+	if len(fr.flushLens) != 17 {
+		t.Fatalf("stream flushed %d times, want 17", len(fr.flushLens))
+	}
+	// ...and the first flush pushed exactly the first entry, nothing more.
+	firstChunk := fr.Body.String()[:fr.flushLens[0]]
+	if n := strings.Count(firstChunk, "\n"); n != 1 {
+		t.Errorf("first flush carried %d lines, want exactly 1: %q", n, firstChunk)
+	}
+	var e SweepEntryJSON
+	if err := json.Unmarshal([]byte(firstChunk), &e); err != nil || e.Rank != 1 {
+		t.Errorf("first flushed chunk is not the rank-1 entry: %v %q", err, firstChunk)
+	}
+}
+
+// smallBufListener shrinks every accepted connection's kernel write
+// buffer so a non-reading client stalls the server's stream quickly.
+type smallBufListener struct {
+	net.Listener
+}
+
+func (l smallBufListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		_ = tc.SetWriteBuffer(1 << 10)
+	}
+	return c, nil
+}
+
+// TestSlowClientWriteDeadline opens a sweep stream and never reads it.
+// The per-write deadline must cut the stalled connection and release
+// the handler (and its admission slot) long before the request timeout.
+func TestSlowClientWriteDeadline(t *testing.T) {
+	m, err := smtbalance.NewMachine(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := &httptest.Server{
+		Listener: smallBufListener{ln},
+		Config:   &http.Server{Handler: NewHandler(m, Config{WriteTimeout: 200 * time.Millisecond})},
+	}
+	ts.Start()
+	t.Cleanup(ts.Close)
+
+	// 256 entries ≈ 36 KB of NDJSON: far beyond the shrunken socket
+	// buffers, so the stream must stall against a silent client.
+	sweepBody := `{
+	  "job": {"ranks": [
+	    [{"compute": {"kind": "fpu", "n": 1000}}, {"barrier": true}],
+	    [{"compute": {"kind": "fpu", "n": 4000}}, {"barrier": true}],
+	    [{"compute": {"kind": "fpu", "n": 1000}}, {"barrier": true}],
+	    [{"compute": {"kind": "fpu", "n": 4000}}, {"barrier": true}]
+	  ]},
+	  "space": {"priorities": [2, 3, 4, 5]}
+	}`
+	// Warm the machine's point cache with a fully-drained pass first:
+	// the stalled stream below must then produce its entries instantly,
+	// so the test measures the write deadline, not simulation speed
+	// (which race-instrumented on one CPU can exceed the poll window).
+	warm, err := ts.Client().Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(sweepBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.Copy(io.Discard, warm.Body); err != nil {
+		t.Fatal(err)
+	}
+	warm.Body.Close()
+
+	conn, err := net.Dial("tcp", ts.Listener.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetReadBuffer(1 << 10)
+	}
+	req := fmt.Sprintf("POST /v1/sweep HTTP/1.1\r\nHost: x\r\nContent-Type: application/json\r\nContent-Length: %d\r\n\r\n%s",
+		len(sweepBody), sweepBody)
+	if _, err := conn.Write([]byte(req)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Never read.  The handler must show up in flight, then be cut by
+	// the write deadline and release its slot.
+	deadline := time.Now().Add(10 * time.Second)
+	for getHealth(t, ts.URL).Serve.InFlight != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("sweep never showed up in flight")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	deadline = time.Now().Add(15 * time.Second)
+	for getHealth(t, ts.URL).Serve.InFlight != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("stalled stream was never cut by the write deadline")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -21,6 +21,17 @@
 // that a typo ("barier") fails loudly instead of simulating the wrong
 // job.
 //
+// Overload: simulation endpoints run behind an admission gate — at most
+// Config.MaxInFlight simulations execute concurrently, at most
+// Config.MaxQueue more wait, and everything beyond that is shed
+// immediately with 429 and a Retry-After header rather than queued
+// without bound.  Identical concurrent requests coalesce inside the
+// Machine (singleflight on the cache key), so a thundering herd of one
+// popular configuration costs one simulation plus one gate slot per
+// request.  Streamed responses carry a rolling write deadline
+// (Config.WriteTimeout per write), so a stalled client frees its slot
+// instead of holding it for the full request timeout.
+//
 // Memory: cached run results keep their full trace, so the server's
 // resident set is bounded by the Machine's entry-capped cache times the
 // largest accepted job — Config.MaxRanks and Config.MaxPhases bound the
@@ -37,8 +48,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"runtime"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	smtbalance "repro"
@@ -67,6 +81,19 @@ type Config struct {
 	// MaxMatrixCells caps a matrix request's (topology, scenario) cell
 	// count (default 16).
 	MaxMatrixCells int
+	// MaxInFlight caps concurrently executing simulation requests
+	// (default 2 × GOMAXPROCS).  /healthz is never gated.
+	MaxInFlight int
+	// MaxQueue caps requests waiting for an in-flight slot (default
+	// 4 × MaxInFlight).  Negative disables queueing: every request
+	// beyond MaxInFlight is shed immediately.
+	MaxQueue int
+	// RetryAfter is the Retry-After hint on 429 replies (default 1s).
+	RetryAfter time.Duration
+	// WriteTimeout bounds each response write (default 30s).  Streams
+	// extend it per chunk, so a slow reader of a long stream is fine —
+	// a stalled one is cut.
+	WriteTimeout time.Duration
 }
 
 // withDefaults substitutes the default for any unset limit.  Zero and
@@ -91,6 +118,21 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxMatrixCells <= 0 {
 		c.MaxMatrixCells = 16
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 4 * c.MaxInFlight
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0 // negative: shed instead of queueing
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 30 * time.Second
 	}
 	return c
 }
@@ -254,12 +296,26 @@ type MatrixDone struct {
 	Entries int  `json:"entries"`
 }
 
+// ServeStats reports the admission gate's state in /healthz.
+type ServeStats struct {
+	// InFlight is the number of simulation requests executing now.
+	InFlight int64 `json:"in_flight"`
+	// Queued is the number of requests waiting for a slot.
+	Queued int64 `json:"queued"`
+	// Rejected counts requests shed with 429 since the server started.
+	Rejected int64 `json:"rejected"`
+	// MaxInFlight and MaxQueue echo the effective limits.
+	MaxInFlight int `json:"max_in_flight"`
+	MaxQueue    int `json:"max_queue"`
+}
+
 // Health is the GET /healthz reply.
 type Health struct {
 	Status   string                `json:"status"`
 	Topology string                `json:"topology"`
 	Contexts int                   `json:"contexts"`
 	Cache    smtbalance.CacheStats `json:"cache"`
+	Serve    ServeStats            `json:"serve"`
 }
 
 // errorJSON is every error reply's shape.
@@ -267,10 +323,71 @@ type errorJSON struct {
 	Error string `json:"error"`
 }
 
+// errOverloaded is gate.acquire's verdict when both the in-flight slots
+// and the queue are full; handlers translate it to 429.
+var errOverloaded = errors.New("serve: overloaded")
+
+// gate is the admission controller: a fixed pool of in-flight slots
+// plus a bounded count of waiters.  Anything beyond both bounds is shed
+// immediately — the one response a saturated server can still afford.
+type gate struct {
+	slots    chan struct{}
+	maxQueue int64
+	queued   atomic.Int64
+	inflight atomic.Int64
+	rejected atomic.Int64
+}
+
+func newGate(maxInFlight, maxQueue int) *gate {
+	return &gate{slots: make(chan struct{}, maxInFlight), maxQueue: int64(maxQueue)}
+}
+
+// acquire reserves an execution slot, waiting in the queue if one is
+// not immediately free.  It returns errOverloaded when the queue is
+// full, or ctx.Err() if the caller gives up while waiting.
+func (g *gate) acquire(ctx context.Context) error {
+	select {
+	case g.slots <- struct{}{}:
+		g.inflight.Add(1)
+		return nil
+	default:
+	}
+	if g.queued.Add(1) > g.maxQueue {
+		g.queued.Add(-1)
+		g.rejected.Add(1)
+		return errOverloaded
+	}
+	defer g.queued.Add(-1)
+	select {
+	case g.slots <- struct{}{}:
+		g.inflight.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns an acquired slot.
+func (g *gate) release() {
+	g.inflight.Add(-1)
+	<-g.slots
+}
+
+func (g *gate) stats() ServeStats {
+	return ServeStats{
+		InFlight:    g.inflight.Load(),
+		Queued:      g.queued.Load(),
+		Rejected:    g.rejected.Load(),
+		MaxInFlight: cap(g.slots),
+		MaxQueue:    int(g.maxQueue),
+	}
+}
+
 type server struct {
 	m   *smtbalance.Machine
 	mx  *smtbalance.Matrix
 	cfg Config
+	g   *gate
 }
 
 // NewHandler serves the API on one shared Machine.  Matrix requests
@@ -278,13 +395,41 @@ type server struct {
 // topologies other than the Machine's), whose cell cache likewise
 // persists across requests.
 func NewHandler(m *smtbalance.Machine, cfg Config) http.Handler {
-	s := &server{m: m, mx: smtbalance.NewMatrix(), cfg: cfg.withDefaults()}
+	cfg = cfg.withDefaults()
+	s := &server{m: m, mx: smtbalance.NewMatrix(), cfg: cfg, g: newGate(cfg.MaxInFlight, cfg.MaxQueue)}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.healthz)
 	mux.HandleFunc("POST /v1/run", s.run)
 	mux.HandleFunc("POST /v1/sweep", s.sweep)
 	mux.HandleFunc("POST /v1/matrix", s.matrix)
 	return mux
+}
+
+// admit passes the request through the admission gate, writing the 429
+// (with a Retry-After hint) or client-gone verdict itself.  Handlers
+// must defer s.g.release() on true.
+func (s *server) admit(w http.ResponseWriter, r *http.Request) bool {
+	switch err := s.g.acquire(r.Context()); {
+	case err == nil:
+		return true
+	case errors.Is(err, errOverloaded):
+		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(s.cfg.RetryAfter.Seconds()))))
+		writeError(w, http.StatusTooManyRequests,
+			"server at capacity (%d in flight, %d queued); retry after %s",
+			s.cfg.MaxInFlight, s.cfg.MaxQueue, s.cfg.RetryAfter)
+	default:
+		// Client gave up while queued; nothing useful to write.
+	}
+	return false
+}
+
+// extendWriteDeadline pushes the connection's write deadline
+// cfg.WriteTimeout into the future; called before every response write
+// so a stalled client is cut loose while a merely slow one, reading
+// chunk by chunk, keeps its stream.  Best-effort: writers without
+// deadline support (httptest recorders) are left alone.
+func (s *server) extendWriteDeadline(rc *http.ResponseController) {
+	_ = rc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -431,6 +576,7 @@ func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
 		Topology: topo.String(),
 		Contexts: topo.Contexts(),
 		Cache:    s.m.CacheStats(),
+		Serve:    s.g.stats(),
 	})
 }
 
@@ -456,6 +602,10 @@ func (s *server) run(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if !s.admit(w, r) {
+		return
+	}
+	defer s.g.release()
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 	defer cancel()
 	res, err := s.m.RunPolicy(ctx, job, pl, pol)
@@ -489,6 +639,7 @@ func (s *server) run(w http.ResponseWriter, r *http.Request) {
 			Instructions: rr.Instructions,
 		})
 	}
+	s.extendWriteDeadline(http.NewResponseController(w))
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -534,35 +685,55 @@ func (s *server) sweep(w http.ResponseWriter, r *http.Request) {
 	// The zero-valued objective already means "minimize cycles".
 	obj := smtbalance.WeightedObjective(req.Objective.CyclesWeight, req.Objective.ImbalanceWeight)
 
+	if !s.admit(w, r) {
+		return
+	}
+	defer s.g.release()
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 	defer cancel()
-	res, err := s.m.SweepAll(ctx, job, space, &smtbalance.SweepOptions{
+
+	// Stream the ranking as NDJSON chunks, best first, flushing per
+	// entry as the iterator yields it, so a large ranking reaches the
+	// client while later entries are still being written — the reply is
+	// never buffered whole.  (Score normalization means the first entry
+	// still waits for evaluation to finish; see Machine.Sweep.)
+	// Evaluated for the terminal record is recovered through Progress:
+	// the ranking may be Top-truncated, so len(entries) undercounts.
+	var evaluated atomic.Int64
+	rc := http.NewResponseController(w)
+	flusher, _ := w.(http.Flusher)
+	var enc *json.Encoder
+	rank := 0
+	for e, err := range s.m.Sweep(ctx, job, space, &smtbalance.SweepOptions{
 		Workers:   s.cfg.SweepWorkers,
 		Top:       req.Top,
 		Objective: obj,
-	})
-	if err != nil {
-		switch {
-		case errors.Is(err, context.DeadlineExceeded):
-			writeError(w, http.StatusGatewayTimeout, "sweep exceeded the server's %s budget", s.cfg.Timeout)
-		case r.Context().Err() != nil:
-			// Client went away.
-		default:
-			writeError(w, http.StatusBadRequest, "%v", err)
+		Progress:  func(done, total int) { evaluated.Store(int64(done)) },
+	}) {
+		if err != nil {
+			switch {
+			case enc != nil:
+				// Mid-stream: the status line is gone; append the error
+				// as the terminal record instead of a silent cut.
+				_ = enc.Encode(errorJSON{Error: err.Error()})
+			case errors.Is(err, context.DeadlineExceeded):
+				writeError(w, http.StatusGatewayTimeout, "sweep exceeded the server's %s budget", s.cfg.Timeout)
+			case r.Context().Err() != nil:
+				// Client went away.
+			default:
+				writeError(w, http.StatusBadRequest, "%v", err)
+			}
+			return
 		}
-		return
-	}
-
-	// Stream the ranking as NDJSON chunks, best first, flushing per
-	// entry so large rankings arrive incrementally.
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.WriteHeader(http.StatusOK)
-	flusher, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
-	enc.SetEscapeHTML(false)
-	for i, e := range res.Entries {
+		if enc == nil {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+			enc = json.NewEncoder(w)
+			enc.SetEscapeHTML(false)
+		}
+		rank++
 		entry := SweepEntryJSON{
-			Rank:         i + 1,
+			Rank:         rank,
 			Policy:       e.Policy,
 			CPUs:         e.Placement.CPU,
 			Cycles:       e.Cycles,
@@ -573,14 +744,23 @@ func (s *server) sweep(w http.ResponseWriter, r *http.Request) {
 		for _, p := range e.Placement.Priority {
 			entry.Priorities = append(entry.Priorities, int(p))
 		}
+		s.extendWriteDeadline(rc)
 		if err := enc.Encode(entry); err != nil {
-			return // client gone mid-stream
+			return // client gone (or write deadline hit) mid-stream
 		}
 		if flusher != nil {
 			flusher.Flush()
 		}
 	}
-	_ = enc.Encode(SweepDone{Done: true, Evaluated: res.Evaluated, Returned: len(res.Entries)})
+	if enc == nil {
+		// Unreachable today (a valid space always ranks entries), but a
+		// terminal record must not panic on an empty stream.
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		enc = json.NewEncoder(w)
+	}
+	s.extendWriteDeadline(rc)
+	_ = enc.Encode(SweepDone{Done: true, Evaluated: int(evaluated.Load()), Returned: rank})
 	if flusher != nil {
 		flusher.Flush()
 	}
@@ -664,8 +844,13 @@ func (s *server) matrix(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	if !s.admit(w, r) {
+		return
+	}
+	defer s.g.release()
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 	defer cancel()
+	rc := http.NewResponseController(w)
 	flusher, _ := w.(http.Flusher)
 	var enc *json.Encoder
 	entries := 0
@@ -691,6 +876,7 @@ func (s *server) matrix(w http.ResponseWriter, r *http.Request) {
 			enc = json.NewEncoder(w)
 			enc.SetEscapeHTML(false)
 		}
+		s.extendWriteDeadline(rc)
 		if err := enc.Encode(MatrixEntryJSON{
 			Topology:     e.Topology,
 			Scenario:     e.Scenario,
@@ -700,7 +886,7 @@ func (s *server) matrix(w http.ResponseWriter, r *http.Request) {
 			ImbalancePct: e.ImbalancePct,
 			Speedup:      e.Speedup,
 		}); err != nil {
-			return // client gone mid-stream
+			return // client gone (or write deadline hit) mid-stream
 		}
 		entries++
 		if flusher != nil {
@@ -714,6 +900,7 @@ func (s *server) matrix(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		enc = json.NewEncoder(w)
 	}
+	s.extendWriteDeadline(rc)
 	_ = enc.Encode(MatrixDone{Done: true, Cells: len(spec.Topologies) * len(spec.Scenarios), Entries: entries})
 	if flusher != nil {
 		flusher.Flush()

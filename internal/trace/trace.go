@@ -133,6 +133,38 @@ func (t *Trace) Intervals(rank int) []Interval {
 	return t.ranks[rank]
 }
 
+// FromIntervals rebuilds a finished trace from previously recorded
+// intervals — the inverse of reading Intervals off every rank, used to
+// revive traces from a persistent result store.  The intervals are
+// copied and lightly validated (known states, non-negative spans inside
+// [0, end]); a record that fails validation returns an error rather
+// than a trace that panics later.
+func FromIntervals(ranks [][]Interval, end int64) (*Trace, error) {
+	if len(ranks) == 0 {
+		return nil, fmt.Errorf("trace: FromIntervals needs at least one rank")
+	}
+	if end < 0 {
+		return nil, fmt.Errorf("trace: negative end cycle %d", end)
+	}
+	t := New(len(ranks))
+	for r, ivs := range ranks {
+		last := int64(0)
+		for _, iv := range ivs {
+			if iv.State >= NumStates {
+				return nil, fmt.Errorf("trace: rank %d has invalid state %d", r, iv.State)
+			}
+			if iv.From < last || iv.To < iv.From || iv.To > end {
+				return nil, fmt.Errorf("trace: rank %d interval [%d,%d) out of order or past end %d", r, iv.From, iv.To, end)
+			}
+			last = iv.To
+		}
+		t.ranks[r] = append([]Interval(nil), ivs...)
+	}
+	t.end = end
+	t.finished = true
+	return t, nil
+}
+
 func (t *Trace) mustBeFinished() {
 	if !t.finished {
 		panic("trace: not finished")

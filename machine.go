@@ -8,6 +8,7 @@ import (
 	"iter"
 	"sync"
 
+	"repro/internal/diskcache"
 	"repro/internal/hwpri"
 	"repro/internal/mpisim"
 	"repro/internal/sweep"
@@ -94,7 +95,31 @@ func (m *Machine) CacheStats() CacheStats { return m.cache.stats() }
 // ClearCache drops every cached result and metric (the hit/miss
 // counters survive).  Long-lived services can call it to release the
 // memory held by cached traces; correctness never depends on the cache.
+// The persistent disk tier, if attached, is left untouched — dropped
+// entries are revived from it on demand.
 func (m *Machine) ClearCache() { m.cache.clear() }
+
+// UseDiskCache attaches a persistent, content-addressed disk tier under
+// the machine's in-memory result cache, rooted at dir: results and
+// sweep metrics are persisted as they are computed, and cache misses
+// consult the disk before simulating — so warm results survive process
+// restarts, and any number of replicas pointed at one shared directory
+// (local disk, NFS) serve each other's work.  Records are keyed by the
+// same canonical SHA-256 hashes as the in-memory tier and stored under
+// a version subdirectory, so a cache-key format change simply starts a
+// fresh tree.  Disk IO is strictly best-effort: read or decode failures
+// degrade to re-simulation, never to request failures.
+//
+// Attach the tier right after NewMachine, before serving traffic; a nil
+// or failed attach leaves the machine purely in-memory.
+func (m *Machine) UseDiskCache(dir string) error {
+	store, err := diskcache.Open(dir, diskVersion)
+	if err != nil {
+		return fmt.Errorf("smtbalance: %w", err)
+	}
+	m.cache.setDisk(store)
+	return nil
+}
 
 // ctxErrOf maps a simulator error caused by ctx's cancellation back to
 // the bare ctx.Err(), so callers can compare against it directly.
@@ -128,6 +153,13 @@ func (m *Machine) RunPolicy(ctx context.Context, job Job, pl Placement, pol Poli
 }
 
 // runPolicy executes one run under an already-resolved policy.
+//
+// Cacheable runs go through the full tiering: the in-memory cache, then
+// the singleflight group (identical concurrent requests share one
+// computation), then — for the flight's leader — the disk tier, and
+// only then the simulator.  A leader's failure is published to its
+// followers, but a follower whose own context is still live retries
+// rather than inheriting the leader's cancellation.
 func (m *Machine) runPolicy(ctx context.Context, job Job, pl Placement, pol Policy) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -136,20 +168,64 @@ func (m *Machine) runPolicy(ctx context.Context, job Job, pl Placement, pol Poli
 		return nil, err
 	}
 	cacheable := m.opts.OnIteration == nil && m.opts.LoadDrift == nil && policyCacheable(pol)
-	var key cacheKey
-	if cacheable {
-		key = placementKey(envJobKey(m.opts.Topology, m.opts, pol, job), pl.CPU, prioInts(pl.Priority))
+	if !cacheable {
+		res, err := runSim(ctx, job, pl, &m.opts, pol)
+		if err != nil {
+			return nil, ctxErrOf(ctx, err)
+		}
+		return res, nil
+	}
+	key := placementKey(envJobKey(m.opts.Topology, m.opts, pol, job), pl.CPU, prioInts(pl.Priority))
+	for {
 		if res, ok := m.cache.getRun(key); ok {
 			return res, nil
 		}
+		f, leader := m.cache.runFlights.join(key)
+		if !leader {
+			m.cache.noteCoalesced()
+			select {
+			case <-f.done:
+				if f.err == nil {
+					return f.val.clone(), nil
+				}
+				if !errors.Is(f.err, context.Canceled) && !errors.Is(f.err, context.DeadlineExceeded) {
+					return nil, f.err // deterministic failure: re-running would fail too
+				}
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				continue // the leader was cancelled, we were not: retry
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		res, err := m.leadRun(ctx, key, job, pl, pol)
+		m.cache.runFlights.forget(key)
+		if err != nil {
+			f.publish(nil, err)
+			return nil, err
+		}
+		// Followers get a private copy: the leader's caller owns res and
+		// may mutate it, while f.val must stay immutable under their
+		// concurrent clones.
+		f.publish(res.clone(), nil)
+		return res, nil
+	}
+}
+
+// leadRun computes one cacheable run as a flight leader: disk tier
+// first, simulator second, both tiers updated on the way out.
+func (m *Machine) leadRun(ctx context.Context, key cacheKey, job Job, pl Placement, pol Policy) (*Result, error) {
+	if res, ok := m.cache.getRunDisk(key); ok {
+		m.cache.putRun(key, res)
+		return res, nil
 	}
 	res, err := runSim(ctx, job, pl, &m.opts, pol)
 	if err != nil {
 		return nil, ctxErrOf(ctx, err)
 	}
-	if cacheable {
-		m.cache.putRun(key, res)
-	}
+	m.cache.putRun(key, res)
+	m.cache.putRunDisk(key, res)
 	return res, nil
 }
 
@@ -285,26 +361,37 @@ func (m *Machine) sweepAll(ctx context.Context, job Job, space Space, opts *Swee
 				prios[i] = int(p)
 			}
 			key := placementKey(bases[idx/len(points)], ipl.CPU, prios)
-			if met, ok := m.cache.getMetrics(key); ok {
-				return met, nil
-			}
-			if pol != nil {
-				// Attach a fresh policy instance to this run's private
-				// config copy; the hook applies the policy's actions
-				// through the simulated procfs.
-				pl := Placement{CPU: ipl.CPU}
-				for _, p := range ipl.Prio {
-					pl.Priority = append(pl.Priority, Priority(p))
+			for {
+				if met, ok := m.cache.getMetrics(key); ok {
+					return met, nil
 				}
-				policyHook(&cfg, pol, m.opts.Topology, pl, nil)
+				// Coalesce across concurrent sweeps (and matrix cells,
+				// which evaluate through this same path): identical
+				// in-flight points share one simulation.
+				f, leader := m.cache.metFlights.join(key)
+				if !leader {
+					m.cache.noteCoalesced()
+					select {
+					case <-f.done:
+						if f.err == nil {
+							return f.val, nil
+						}
+						if !errors.Is(f.err, context.Canceled) && !errors.Is(f.err, context.DeadlineExceeded) {
+							return sweep.Metrics{}, f.err
+						}
+						if err := ctx.Err(); err != nil {
+							return sweep.Metrics{}, err
+						}
+						continue
+					case <-ctx.Done():
+						return sweep.Metrics{}, ctx.Err()
+					}
+				}
+				met, err := m.leadPoint(ctx, key, pol, ijob, ipl, cfg)
+				m.cache.metFlights.forget(key)
+				f.publish(met, err)
+				return met, err
 			}
-			r, err := mpisim.RunCtx(ctx, ijob, ipl, cfg)
-			if err != nil {
-				return sweep.Metrics{}, err
-			}
-			met := sweep.Metrics{Cycles: r.Cycles, Seconds: r.Seconds, ImbalancePct: r.Imbalance}
-			m.cache.putMetrics(key, met)
-			return met, nil
 		},
 	})
 	if err != nil {
@@ -336,6 +423,33 @@ func (m *Machine) sweepAll(ctx context.Context, job Job, space Space, opts *Swee
 		out.Entries = append(out.Entries, entry)
 	}
 	return out, nil
+}
+
+// leadPoint computes one sweep point as its flight's leader: disk tier
+// first, simulator second.
+func (m *Machine) leadPoint(ctx context.Context, key cacheKey, pol Policy, ijob *mpisim.Job, ipl mpisim.Placement, cfg mpisim.Config) (sweep.Metrics, error) {
+	if met, ok := m.cache.getMetricsDisk(key); ok {
+		m.cache.putMetrics(key, met)
+		return met, nil
+	}
+	if pol != nil {
+		// Attach a fresh policy instance to this run's private config
+		// copy; the hook applies the policy's actions through the
+		// simulated procfs.
+		pl := Placement{CPU: ipl.CPU}
+		for _, p := range ipl.Prio {
+			pl.Priority = append(pl.Priority, Priority(p))
+		}
+		policyHook(&cfg, pol, m.opts.Topology, pl, nil)
+	}
+	r, err := mpisim.RunCtx(ctx, ijob, ipl, cfg)
+	if err != nil {
+		return sweep.Metrics{}, err
+	}
+	met := sweep.Metrics{Cycles: r.Cycles, Seconds: r.Seconds, ImbalancePct: r.Imbalance}
+	m.cache.putMetrics(key, met)
+	m.cache.putMetricsDisk(key, met)
+	return met, nil
 }
 
 // Sweep evaluates every configuration of the space under the job and

@@ -2,6 +2,7 @@ package smtbalance
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"iter"
@@ -116,6 +117,12 @@ type Matrix struct {
 	cellOrder []cacheKey
 	hits      int64
 	misses    int64
+
+	// flights coalesces identical in-flight cells: two concurrent
+	// requests for the same (topology, scenario, policies) cell share
+	// one evaluation (the underlying per-point runs coalesce through
+	// the Machine cache's own singleflight as well).
+	flights flightGroup[[]MatrixEntry]
 }
 
 // Engine bounds: a machine holds a full result cache (potentially tens
@@ -274,6 +281,59 @@ func (mx *Matrix) evalCell(ctx context.Context, topo Topology, sc Scenario, pols
 	return entries, nil
 }
 
+// cell returns one (topology, scenario) cell's entries through the
+// engine's tiering: the cell cache, then the singleflight group (an
+// identical concurrent request shares the one evaluation in progress —
+// counted as a hit, since no fresh evaluation ran for it), then a real
+// evaluation.  A leader's cancellation is not inherited by a live
+// follower, which retries as the new leader.
+func (mx *Matrix) cell(ctx context.Context, key cacheKey, topo Topology, sc Scenario, pols []Policy, workers int) ([]MatrixEntry, error) {
+	for {
+		mx.mu.Lock()
+		entries, cached := mx.cells[key]
+		if cached {
+			mx.hits++
+		} else {
+			mx.misses++
+		}
+		mx.mu.Unlock()
+		if cached {
+			return entries, nil
+		}
+		f, leader := mx.flights.join(key)
+		if !leader {
+			select {
+			case <-f.done:
+				if f.err == nil {
+					mx.mu.Lock()
+					// The miss counted above was served without a fresh
+					// evaluation after all; reclassify it as a hit.
+					mx.misses--
+					mx.hits++
+					mx.mu.Unlock()
+					return f.val, nil
+				}
+				if !errors.Is(f.err, context.Canceled) && !errors.Is(f.err, context.DeadlineExceeded) {
+					return nil, f.err
+				}
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				continue
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		entries, err := mx.evalCell(ctx, topo, sc, pols, workers)
+		if err == nil {
+			mx.putCell(key, entries)
+		}
+		mx.flights.forget(key)
+		f.publish(entries, err)
+		return entries, err
+	}
+}
+
 // Eval evaluates the matrix and streams its entries as an iterator of
 // (entry, error) pairs, in spec order (topology-major, then scenario,
 // then policy — the static control first when it was added implicitly).
@@ -303,21 +363,10 @@ func (mx *Matrix) Eval(ctx context.Context, spec MatrixSpec, opts *MatrixOptions
 		for _, topo := range topos {
 			for _, sc := range spec.Scenarios {
 				key := matrixCellKey(topo, ScenarioID(sc), polIDs)
-				mx.mu.Lock()
-				entries, cached := mx.cells[key]
-				if cached {
-					mx.hits++
-				} else {
-					mx.misses++
-				}
-				mx.mu.Unlock()
-				if !cached {
-					entries, err = mx.evalCell(ctx, topo, sc, pols, opts.Workers)
-					if err != nil {
-						yield(MatrixEntry{}, err)
-						return
-					}
-					mx.putCell(key, entries)
+				entries, err := mx.cell(ctx, key, topo, sc, pols, opts.Workers)
+				if err != nil {
+					yield(MatrixEntry{}, err)
+					return
 				}
 				done++
 				if opts.Progress != nil {
