@@ -10,6 +10,8 @@
 // functions; a failed shape fails the benchmark.
 package smtbalance
 
+//lint:file-ignore SA1019 the deprecated Run/Sweep wrappers and DynamicBalance knobs are exercised on purpose: these tests pin that the old spellings stay behavior-identical to their replacements
+
 import (
 	"bytes"
 	"context"

@@ -56,7 +56,9 @@ func (h *hasher) str(s string) {
 // envJobKey hashes the run environment and the job — everything but the
 // placement, which sweeps vary point by point.
 //
-// Audit: every behavior-affecting Options field must appear here.
+// Audit: every behavior-affecting Options field must appear here —
+// mechanically enforced by mtlint's cachekey pass (the //mtlint:cachekey
+// directives on Options and the hashers; see docs/lint.md).
 //   - Topology: hashed (three dimensions, normalized).
 //   - VanillaKernel, NoOSNoise, ColdCaches: hashed.
 //   - Policy / DynamicBalance / MaxPriorityDiff: all three resolve to
@@ -82,6 +84,8 @@ func (h *hasher) str(s string) {
 // Job.Name is deliberately excluded: it labels diagnostics and never
 // reaches the simulated machine, so two jobs differing only in name
 // share cache entries.
+//
+//mtlint:cachekey-hasher run
 func envJobKey(topo Topology, opts Options, pol Policy, job Job) [sha256.Size]byte {
 	var h hasher
 	h.str(cacheKeyVersion)
@@ -160,6 +164,8 @@ func placementKey(base [sha256.Size]byte, cpu []int, prio []int) cacheKey {
 // Scenario and policy IDs are canonical (equal ID ⇒ equal behavior), so
 // hashing the rendered IDs length-prefixed is collision-free for the
 // same reason envJobKey's structural policy hash is.
+//
+//mtlint:cachekey-hasher matrix
 func matrixCellKey(topo Topology, scenarioID string, policyIDs []string) cacheKey {
 	var h hasher
 	h.tag('M')

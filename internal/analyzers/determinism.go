@@ -1,0 +1,209 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// Determinism enforces bit-determinism in the simulator-core packages:
+// equal inputs must produce byte-identical results, because the cache
+// keys (cache.go), the phase-skip identity proof (internal/mpisim) and
+// the disk-replay byte-compare all assume it.  In those packages the
+// pass forbids wall-clock reads (time.Now and friends), timing-
+// dependent sleeps, the process-global math/rand generators, and map
+// iteration whose order can leak into results.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "simulator-core packages must stay bit-deterministic: no time.Now/" +
+		"time.Sleep, no math/rand, and no map iteration whose order escapes " +
+		"without a sort (annotate provably order-insensitive loops with " +
+		"//mtlint:orderinsensitive <reason>)",
+	Run: runDeterminism,
+}
+
+// deterministicPkgs are the simulator-core package-path suffixes the
+// pass applies to — the layers beneath the cache key, where a
+// nondeterminism bug silently corrupts every tier built on equal-key ⇒
+// equal-bytes.
+var deterministicPkgs = []string{
+	"internal/power5",
+	"internal/mpisim",
+	"internal/isa",
+	"internal/oskernel",
+	"internal/workload",
+	"internal/branch",
+	"internal/mem",
+	"internal/scenario",
+	"internal/sweep",
+	"internal/trace",
+}
+
+// bannedTimeFuncs are the time-package functions that read the wall
+// clock or couple behavior to real elapsed time.
+var bannedTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTicker": true, "NewTimer": true,
+}
+
+func runDeterminism(pass *Pass) error {
+	if !pathInList(pass.Pkg.Path(), deterministicPkgs) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.inTestFile(f.Pos()) {
+			continue
+		}
+		for _, imp := range f.Imports {
+			path, _ := strconv.Unquote(imp.Path.Value)
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(), "import of %s in a simulator-core package: the process-global generators are "+
+					"unseeded and break bit-determinism; use an explicitly seeded in-repo generator "+
+					"(e.g. internal/scenario's splitmix64 or the workload LCG)", path)
+			}
+		}
+		// Directive lines: //mtlint:orderinsensitive <reason> on the
+		// line directly above a range statement.
+		directives := orderDirectiveLines(pass, f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkDeterminism(pass, fd, directives)
+		}
+	}
+	return nil
+}
+
+// pathInList reports whether path ends in one of the listed suffixes.
+func pathInList(path string, list []string) bool {
+	for _, s := range list {
+		if pathHasSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// orderDirectiveLines maps line numbers carrying an orderinsensitive
+// directive to its reason.
+func orderDirectiveLines(pass *Pass, f *ast.File) map[int]string {
+	out := make(map[int]string)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if rest, ok := strings.CutPrefix(c.Text, directivePrefix+"orderinsensitive"); ok {
+				out[pass.Fset.Position(c.Pos()).Line] = strings.TrimSpace(rest)
+			}
+		}
+	}
+	return out
+}
+
+// checkDeterminism walks one function body for the three violation
+// classes.
+func checkDeterminism(pass *Pass, fd *ast.FuncDecl, directives map[int]string) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			fn, _ := pass.Info.Uses[n.Sel].(*types.Func)
+			if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time" && bannedTimeFuncs[fn.Name()] {
+				pass.Reportf(n.Pos(), "time.%s in a simulator-core package: wall-clock reads break bit-determinism "+
+					"(equal cache keys must mean byte-identical results); derive timing from simulated cycles", fn.Name())
+			}
+		case *ast.RangeStmt:
+			tv, ok := pass.Info.Types[n.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			line := pass.Fset.Position(n.Pos()).Line
+			if reason, ok := directives[line-1]; ok {
+				if reason == "" {
+					pass.Reportf(n.Pos(), "//mtlint:orderinsensitive needs a reason explaining why iteration order cannot escape")
+				}
+				return true
+			}
+			if mapRangeIsCollectAndSort(pass, fd, n) {
+				return true
+			}
+			pass.Reportf(n.Pos(), "range over a map in a simulator-core package: iteration order is randomized and may "+
+				"leak into results; collect the keys and sort them, or annotate the loop with "+
+				"//mtlint:orderinsensitive <reason> if order provably cannot escape")
+		}
+		return true
+	})
+}
+
+// mapRangeIsCollectAndSort recognizes the one idiom that makes a map
+// range deterministic without annotation: every statement in the loop
+// body appends to plain local slices, and each of those slices is later
+// passed to a sort (sort.* or slices.Sort*) in the same function, after
+// the loop.
+func mapRangeIsCollectAndSort(pass *Pass, fd *ast.FuncDecl, rng *ast.RangeStmt) bool {
+	var collected []*ast.Ident
+	for _, stmt := range rng.Body.List {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return false
+		}
+		dst, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return false
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		if fun, ok := call.Fun.(*ast.Ident); !ok || fun.Name != "append" {
+			return false
+		}
+		collected = append(collected, dst)
+	}
+	if len(collected) == 0 {
+		return false
+	}
+	for _, dst := range collected {
+		if !sortedAfter(pass, fd, rng, dst) {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedAfter reports whether ident's object is passed to a sort.* or
+// slices.* call positioned after the range statement in fd's body.
+func sortedAfter(pass *Pass, fd *ast.FuncDecl, rng *ast.RangeStmt, ident *ast.Ident) bool {
+	obj := pass.Info.Uses[ident]
+	if obj == nil {
+		obj = pass.Info.Defs[ident]
+	}
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rng.End() || found {
+			return !found
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

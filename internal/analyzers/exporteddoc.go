@@ -1,40 +1,31 @@
-package smtbalance
+package analyzers
 
 import (
-	"fmt"
 	"go/ast"
-	"go/parser"
-	"go/token"
-	"sort"
 	"strings"
-	"testing"
 )
 
-// TestExportedSymbolsDocumented fails on any exported symbol of the
-// public root package — type, function, method, const, var, struct
-// field or interface method — that carries no doc comment.  The public
-// surface is the reproduction's API contract; an undocumented export
-// is a review miss, and this test is what makes the rule CI-enforced
-// (CI runs `go test ./...`).
-func TestExportedSymbolsDocumented(t *testing.T) {
-	fset := token.NewFileSet()
-	pkgs, err := parser.ParseDir(fset, ".", nil, parser.ParseComments)
-	if err != nil {
-		t.Fatal(err)
-	}
-	pkg, ok := pkgs["smtbalance"]
-	if !ok {
-		t.Fatalf("package smtbalance not found in %v", pkgs)
-	}
+// ExportedDoc fails on any exported symbol — type, function, method,
+// const, var, struct field or interface method — that carries no doc
+// comment, in the packages whose exported surface is a contract: the
+// public root package, the command packages, internal/serve, and this
+// analyzer suite itself.  It is the former root-package-only
+// godoc_lint_test.go, generalized: the exported surface is the
+// reproduction's API, and an undocumented export is a review miss this
+// pass turns into a CI failure.
+var ExportedDoc = &Analyzer{
+	Name: "exporteddoc",
+	Doc: "exported symbols of API-surface packages (the root package, " +
+		"cmd/*, internal/serve, internal/analyzers) must carry doc comments",
+	Run: runExportedDoc,
+}
 
-	var missing []string
-	report := func(pos token.Pos, sym string) {
-		p := fset.Position(pos)
-		missing = append(missing, fmt.Sprintf("%s:%d: %s", p.Filename, p.Line, sym))
+func runExportedDoc(pass *Pass) error {
+	if !exportedDocApplies(pass.Pkg.Path()) {
+		return nil
 	}
-
-	for name, f := range pkg.Files {
-		if strings.HasSuffix(name, "_test.go") {
+	for _, f := range pass.Files {
+		if pass.inTestFile(f.Pos()) {
 			continue
 		}
 		for _, decl := range f.Decls {
@@ -51,7 +42,7 @@ func TestExportedSymbolsDocumented(t *testing.T) {
 					continue
 				}
 				if d.Doc == nil {
-					report(d.Pos(), "func "+funcName(d))
+					pass.Reportf(d.Pos(), "undocumented exported symbol: func %s", funcDisplayName(d))
 				}
 			case *ast.GenDecl:
 				for _, spec := range d.Specs {
@@ -61,9 +52,9 @@ func TestExportedSymbolsDocumented(t *testing.T) {
 							continue
 						}
 						if d.Doc == nil && s.Doc == nil {
-							report(s.Pos(), "type "+s.Name.Name)
+							pass.Reportf(s.Pos(), "undocumented exported symbol: type %s", s.Name.Name)
 						}
-						checkFields(s, report)
+						checkTypeMembers(pass, s)
 					case *ast.ValueSpec:
 						// A group doc (`// Priorities ...` above a const
 						// block) or a per-spec doc or trailing line comment
@@ -71,7 +62,7 @@ func TestExportedSymbolsDocumented(t *testing.T) {
 						documented := d.Doc != nil || s.Doc != nil || s.Comment != nil
 						for _, id := range s.Names {
 							if id.IsExported() && !documented {
-								report(id.Pos(), "const/var "+id.Name)
+								pass.Reportf(id.Pos(), "undocumented exported symbol: const/var %s", id.Name)
 							}
 						}
 					}
@@ -79,16 +70,28 @@ func TestExportedSymbolsDocumented(t *testing.T) {
 			}
 		}
 	}
-
-	sort.Strings(missing)
-	for _, m := range missing {
-		t.Errorf("undocumented exported symbol: %s", m)
-	}
+	return nil
 }
 
-// checkFields reports undocumented exported struct fields and
+// exportedDocApplies decides whether a package's exported surface is
+// contract: the module root (a single-segment path, like the fixture
+// roots), any command under a cmd directory, the serving tier's API,
+// and the analyzer suite itself.
+func exportedDocApplies(path string) bool {
+	if !strings.Contains(path, "/") {
+		return true // module root or fixture root package
+	}
+	for _, seg := range strings.Split(path, "/") {
+		if seg == "cmd" {
+			return true
+		}
+	}
+	return pathHasSuffix(path, "internal/serve") || pathHasSuffix(path, "internal/analyzers")
+}
+
+// checkTypeMembers reports undocumented exported struct fields and
 // interface methods of an exported type.
-func checkFields(s *ast.TypeSpec, report func(token.Pos, string)) {
+func checkTypeMembers(pass *Pass, s *ast.TypeSpec) {
 	var fields *ast.FieldList
 	switch tt := s.Type.(type) {
 	case *ast.StructType:
@@ -104,7 +107,7 @@ func checkFields(s *ast.TypeSpec, report func(token.Pos, string)) {
 		}
 		for _, id := range f.Names {
 			if id.IsExported() {
-				report(id.Pos(), s.Name.Name+"."+id.Name)
+				pass.Reportf(id.Pos(), "undocumented exported symbol: %s.%s", s.Name.Name, id.Name)
 			}
 		}
 	}
@@ -131,8 +134,8 @@ func exportedReceiver(recv *ast.FieldList) bool {
 	}
 }
 
-// funcName renders a function or method name for the failure message.
-func funcName(d *ast.FuncDecl) string {
+// funcDisplayName renders a function or method name for diagnostics.
+func funcDisplayName(d *ast.FuncDecl) string {
 	if d.Recv == nil {
 		return d.Name.Name
 	}

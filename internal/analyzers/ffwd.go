@@ -1,0 +1,129 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FFwd enforces the phase-skip engine's state-capture contract: in the
+// stateful simulator layers, any named type that implements the
+// per-cycle instruction interface isa.Stream carries per-cycle mutable
+// state the phase-skip engine must be able to snapshot — so it must
+// also implement isa.FastForwarder, or carry an explicit
+// `//mtlint:no-ffwd <reason>` directive.  A stream without capture
+// support silently disarms phase-skip for every run it appears in
+// (internal/mpisim falls back to exact execution), which is correct but
+// defeats the fast path without a trace; worse, a *forgotten* capture
+// of new mutable state added to an existing FastForwarder would break
+// the byte-identity proof — this pass makes the contract a CI failure
+// instead of a reviewer checklist.
+var FFwd = &Analyzer{
+	Name: "ffwd",
+	Doc: "in the stateful simulator layers, every implementation of " +
+		"isa.Stream must implement isa.FastForwarder (or carry " +
+		"//mtlint:no-ffwd <reason>), so phase-skip state capture cannot " +
+		"silently lose new per-cycle state",
+	Run: runFFwd,
+}
+
+// statefulPkgs are the package-path suffixes holding per-cycle mutable
+// state that the phase-skip engine snapshots.
+var statefulPkgs = []string{
+	"internal/isa",
+	"internal/workload",
+	"internal/oskernel",
+	"internal/power5",
+	"internal/mem",
+	"internal/branch",
+	"internal/trace",
+	"internal/mpisim",
+}
+
+func runFFwd(pass *Pass) error {
+	if !pathInList(pass.Pkg.Path(), statefulPkgs) {
+		return nil
+	}
+	stream, ffwd := isaInterfaces(pass.Pkg)
+	if stream == nil || ffwd == nil {
+		return nil // no isa in sight: nothing to check against
+	}
+	for _, f := range pass.Files {
+		if pass.inTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			d, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range d.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				obj := pass.Info.Defs[ts.Name]
+				if obj == nil {
+					continue
+				}
+				named, ok := obj.Type().(*types.Named)
+				if !ok {
+					continue // alias declarations introduce no new type
+				}
+				if _, isIface := named.Underlying().(*types.Interface); isIface {
+					continue // interfaces declare the contract, they don't hold state
+				}
+				ptr := types.NewPointer(named)
+				if !types.Implements(named, stream) && !types.Implements(ptr, stream) {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil {
+					doc = d.Doc
+				}
+				if reason, exempt := directive(doc, "no-ffwd"); exempt {
+					if reason == "" {
+						pass.Reportf(ts.Pos(), "//mtlint:no-ffwd needs a reason explaining why %s cannot support phase-skip capture", ts.Name.Name)
+					}
+					continue
+				}
+				if types.Implements(named, ffwd) || types.Implements(ptr, ffwd) {
+					continue
+				}
+				pass.Reportf(ts.Pos(), "%s implements isa.Stream but not isa.FastForwarder: installing it on a simulated "+
+					"machine silently disarms phase-skip for the whole run; implement FFSupported/FFNorm/FFCtrs/FFAdvance "+
+					"(see the isa.FastForwarder contract) or annotate the type with //mtlint:no-ffwd <reason>", ts.Name.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// isaInterfaces locates the Stream and FastForwarder interfaces in the
+// isa package — the package itself when analyzing internal/isa, or the
+// direct import whose path ends in internal/isa otherwise.
+func isaInterfaces(pkg *types.Package) (stream, ffwd *types.Interface) {
+	isa := pkg
+	if !pathHasSuffix(pkg.Path(), "internal/isa") {
+		isa = nil
+		for _, imp := range pkg.Imports() {
+			if pathHasSuffix(imp.Path(), "internal/isa") {
+				isa = imp
+				break
+			}
+		}
+	}
+	if isa == nil {
+		return nil, nil
+	}
+	return lookupInterface(isa, "Stream"), lookupInterface(isa, "FastForwarder")
+}
+
+// lookupInterface resolves a named interface in pkg's scope.
+func lookupInterface(pkg *types.Package, name string) *types.Interface {
+	obj := pkg.Scope().Lookup(name)
+	if obj == nil {
+		return nil
+	}
+	iface, _ := obj.Type().Underlying().(*types.Interface)
+	return iface
+}

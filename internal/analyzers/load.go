@@ -1,0 +1,301 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The loader turns a directory tree into type-checked packages without
+// golang.org/x/tools/go/packages (the build environment is offline, so
+// only the standard library is available).  Module-local imports are
+// resolved by path arithmetic against the module root; standard-library
+// imports go through go/importer's default gc importer, which reads
+// export data from the toolchain's build cache.  Test files are never
+// loaded: the suite checks production sources, and test-only invariant
+// violations (wall clocks in benchmarks, undocumented helpers) are
+// deliberate.
+
+// LoadConfig tells Load where packages live and how import paths map to
+// directories.
+type LoadConfig struct {
+	// Dir is the root directory scanned for packages.
+	Dir string
+	// ModulePath is the import-path prefix of Dir (the module path).
+	// Empty means GOPATH-style resolution: an import path is a
+	// directory relative to Dir — the layout of analyzer test fixtures.
+	ModulePath string
+}
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the package's import path.
+	Path string
+	// Fset is the file set shared by every package of one Load call.
+	Fset *token.FileSet
+	// Files holds the parsed syntax trees, comments included.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info holds the type-checker's results for Files.
+	Info *types.Info
+}
+
+// Load parses and type-checks the packages named by patterns: either
+// the literal "./..." (every package under cfg.Dir) or explicit import
+// paths.  Packages are returned sorted by import path.
+func Load(cfg LoadConfig, patterns ...string) ([]*Package, error) {
+	ld := &loader{
+		cfg:     cfg,
+		fset:    token.NewFileSet(),
+		std:     importer.Default(),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+	var paths []string
+	for _, pat := range patterns {
+		switch pat {
+		case "./...", "...":
+			found, err := ld.discover()
+			if err != nil {
+				return nil, err
+			}
+			paths = append(paths, found...)
+		default:
+			paths = append(paths, strings.TrimPrefix(pat, "./"))
+		}
+	}
+	for _, path := range paths {
+		if _, err := ld.load(path); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]*Package, 0, len(paths))
+	seen := make(map[string]bool)
+	for _, path := range paths {
+		if pkg := ld.pkgs[path]; pkg != nil && !seen[path] {
+			seen[path] = true
+			out = append(out, pkg)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// ModulePathOf reads the module path from dir's go.mod.
+func ModulePathOf(dir string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if mod, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			return strings.TrimSpace(mod), nil
+		}
+	}
+	return "", fmt.Errorf("analyzers: no module directive in %s/go.mod", dir)
+}
+
+// loader memoizes package loading and doubles as the types.Importer for
+// module-local imports.
+type loader struct {
+	cfg     LoadConfig
+	fset    *token.FileSet
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// discover walks cfg.Dir and returns the import path of every directory
+// holding at least one non-test Go file.  testdata, vendor, hidden and
+// underscore-prefixed directories are skipped, matching the go tool's
+// "./..." semantics.
+func (ld *loader) discover() ([]string, error) {
+	var paths []string
+	err := filepath.WalkDir(ld.cfg.Dir, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != ld.cfg.Dir && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		files, err := packageGoFiles(p)
+		if err != nil {
+			return err
+		}
+		if len(files) == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(ld.cfg.Dir, p)
+		if err != nil {
+			return err
+		}
+		paths = append(paths, importPathFor(ld.cfg.ModulePath, rel))
+		return nil
+	})
+	return paths, err
+}
+
+// importPathFor maps a directory (relative to the root) to its import
+// path under the configured module path.
+func importPathFor(modPath, rel string) string {
+	rel = filepath.ToSlash(rel)
+	switch {
+	case rel == "." && modPath != "":
+		return modPath
+	case rel == ".":
+		return ""
+	case modPath != "":
+		return modPath + "/" + rel
+	default:
+		return rel
+	}
+}
+
+// dirFor maps an import path to a directory, or ok=false when the path
+// is not local to the configured root (i.e. it is a stdlib import).
+func (ld *loader) dirFor(path string) (string, bool) {
+	mod := ld.cfg.ModulePath
+	if mod != "" {
+		if path == mod {
+			return ld.cfg.Dir, true
+		}
+		if rest, ok := strings.CutPrefix(path, mod+"/"); ok {
+			return filepath.Join(ld.cfg.Dir, filepath.FromSlash(rest)), true
+		}
+		return "", false
+	}
+	// GOPATH-style fixtures: local iff the directory exists.
+	dir := filepath.Join(ld.cfg.Dir, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		return dir, true
+	}
+	return "", false
+}
+
+// packageGoFiles lists dir's non-test Go files, sorted.
+func packageGoFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// Import implements types.Importer: module-local paths load recursively
+// through the loader, everything else is standard library.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if _, local := ld.dirFor(path); local {
+		pkg, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return ld.std.Import(path)
+}
+
+// load parses and type-checks one local package by import path,
+// memoized.
+func (ld *loader) load(path string) (*Package, error) {
+	if pkg, ok := ld.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if ld.loading[path] {
+		return nil, fmt.Errorf("analyzers: import cycle through %q", path)
+	}
+	ld.loading[path] = true
+	defer delete(ld.loading, path)
+
+	dir, ok := ld.dirFor(path)
+	if !ok {
+		return nil, fmt.Errorf("analyzers: package %q is not under %s", path, ld.cfg.Dir)
+	}
+	names, err := packageGoFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analyzers: no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: ld}
+	tpkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analyzers: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Fset: ld.fset, Files: files, Types: tpkg, Info: info}
+	ld.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// RunAnalyzers executes every analyzer over every package and returns
+// the diagnostics sorted by position then analyzer.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				Report:   func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analyzers: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}

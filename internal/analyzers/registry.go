@@ -1,0 +1,211 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+	"unicode"
+)
+
+// Registry enforces the spec grammar on every name and parameter key
+// that enters the policy/scenario registries.  ParsePolicy and
+// ParseScenario split specs on "," and cut key=value pairs on "=", so a
+// registered name or parameter key containing ",", "=", ";" or
+// whitespace can never round-trip through the grammar: the entry is
+// registered but unreachable, and Params() output stops being a valid
+// spec.  RegisterPolicy rejects such names at runtime — but only when
+// the init actually runs, and the map-literal and Params()/param-helper
+// sides have no runtime check at all.  This pass moves the whole
+// contract to compile time.
+var Registry = &Analyzer{
+	Name: "registry",
+	Doc: "policy/scenario names and parameter keys must satisfy the " +
+		"ParsePolicy/ParseScenario grammar: non-empty, and free of " +
+		"\",\", \"=\", \";\" and whitespace",
+	Run: runRegistry,
+}
+
+// registerFuncs maps registration entry points to what they register.
+var registerFuncs = map[string]string{
+	"RegisterPolicy":   "policy name",
+	"RegisterScenario": "scenario name",
+}
+
+// factoryMapElems maps registry map-literal element types to what their
+// keys name.
+var factoryMapElems = map[string]string{
+	"PolicyFactory":   "policy name",
+	"ScenarioFactory": "scenario name",
+}
+
+// paramHelpers are the parameter-reading helpers whose second argument
+// is a spec-grammar key.
+var paramHelpers = map[string]bool{
+	"paramInt": true, "paramInt64": true, "paramFloat": true,
+	"paramUint": true, "paramKind": true,
+}
+
+func runRegistry(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.inTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			inParams := isParamsMethod(fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					checkRegistryCall(pass, n)
+				case *ast.CompositeLit:
+					checkFactoryMapLit(pass, n)
+					if inParams {
+						checkParamsLit(pass, n)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkRegistryCall validates constant name arguments of RegisterPolicy
+// / RegisterScenario calls and constant key arguments of param helpers.
+func checkRegistryCall(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass, call)
+	if fn == nil {
+		return
+	}
+	if what, ok := registerFuncs[fn.Name()]; ok && len(call.Args) >= 1 {
+		if name, lit := constString(pass, call.Args[0]); lit {
+			if msg := specGrammarErr(name); msg != "" {
+				pass.Reportf(call.Args[0].Pos(), "%s %q %s: %s will never be able to parse it",
+					what, name, msg, parserFor(what))
+			}
+		}
+	}
+	if paramHelpers[fn.Name()] && len(call.Args) >= 2 {
+		if key, lit := constString(pass, call.Args[1]); lit {
+			if msg := specGrammarErr(key); msg != "" {
+				pass.Reportf(call.Args[1].Pos(), "parameter key %q %s: a key=value pair with this key cannot appear in a spec", key, msg)
+			} else if key != strings.ToLower(key) {
+				pass.Reportf(call.Args[1].Pos(), "parameter key %q is not lower-case; spec keys are canonically lower-case so Params() output round-trips byte-identically", key)
+			}
+		}
+	}
+}
+
+// checkFactoryMapLit validates the keys of map[string]PolicyFactory /
+// map[string]ScenarioFactory literals — the bulk-registration idiom in
+// the init functions.
+func checkFactoryMapLit(pass *Pass, lit *ast.CompositeLit) {
+	tv, ok := pass.Info.Types[lit]
+	if !ok {
+		return
+	}
+	m, ok := tv.Type.Underlying().(*types.Map)
+	if !ok {
+		return
+	}
+	elem := namedOrPointee(m.Elem())
+	if elem == nil {
+		return
+	}
+	what, ok := factoryMapElems[elem.Obj().Name()]
+	if !ok {
+		return
+	}
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if name, isLit := constString(pass, kv.Key); isLit {
+			if msg := specGrammarErr(name); msg != "" {
+				pass.Reportf(kv.Key.Pos(), "%s %q %s: %s will never be able to parse it",
+					what, name, msg, parserFor(what))
+			}
+		}
+	}
+}
+
+// checkParamsLit validates the keys of map[string]string literals
+// returned from Params() methods: they must be canonical spec keys, or
+// idString's output stops being a parseable spec.
+func checkParamsLit(pass *Pass, lit *ast.CompositeLit) {
+	tv, ok := pass.Info.Types[lit]
+	if !ok {
+		return
+	}
+	m, ok := tv.Type.Underlying().(*types.Map)
+	if !ok {
+		return
+	}
+	key, kOK := m.Key().Underlying().(*types.Basic)
+	val, vOK := m.Elem().Underlying().(*types.Basic)
+	if !kOK || !vOK || key.Kind() != types.String || val.Kind() != types.String {
+		return
+	}
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		name, isLit := constString(pass, kv.Key)
+		if !isLit {
+			continue
+		}
+		if msg := specGrammarErr(name); msg != "" {
+			pass.Reportf(kv.Key.Pos(), "Params() key %q %s: the rendered spec (idString) would not re-parse", name, msg)
+		} else if name != strings.ToLower(name) {
+			pass.Reportf(kv.Key.Pos(), "Params() key %q is not lower-case; spec keys are canonically lower-case so rendered specs round-trip byte-identically", name)
+		}
+	}
+}
+
+// isParamsMethod reports whether fd is a Params() map[string]string
+// method — the Policy/Scenario identity surface.
+func isParamsMethod(fd *ast.FuncDecl) bool {
+	return fd.Recv != nil && fd.Name.Name == "Params" &&
+		fd.Type.Params.NumFields() == 0 && fd.Type.Results.NumFields() == 1
+}
+
+// constString evaluates e as a compile-time string constant.
+func constString(pass *Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// specGrammarErr explains why s violates the spec grammar, or returns
+// "" when s is valid.  The rules mirror RegisterPolicy's runtime check
+// plus the whitespace splitting done by spec normalization.
+func specGrammarErr(s string) string {
+	if s == "" {
+		return "is empty"
+	}
+	if i := strings.IndexAny(s, ",=;"); i >= 0 {
+		return "contains " + string(s[i]) + ", a spec metacharacter"
+	}
+	for _, r := range s {
+		if unicode.IsSpace(r) {
+			return "contains whitespace"
+		}
+	}
+	return ""
+}
+
+// parserFor names the parse entry point for a registration kind.
+func parserFor(what string) string {
+	if strings.HasPrefix(what, "scenario") {
+		return "ParseScenario"
+	}
+	return "ParsePolicy"
+}

@@ -1,0 +1,14 @@
+package analyzers
+
+// All returns the full mtlint suite in the order diagnostics group best
+// for a human reading the output: key integrity first, then runtime
+// invariants, then surface hygiene.
+func All() []*Analyzer {
+	return []*Analyzer{
+		CacheKey,
+		Determinism,
+		FFwd,
+		Registry,
+		ExportedDoc,
+	}
+}

@@ -1,0 +1,64 @@
+// Package cachekeytest is the cachekey analyzer's fixture.
+package cachekeytest
+
+// Options is the audited struct: Hashed flows through the hasher
+// directly, ViaArg flows through a call argument, Exempt carries a
+// justification — and Forgotten is the bug the pass exists to catch.
+//
+//mtlint:cachekey run
+type Options struct {
+	// Hashed is read inside the hasher body.
+	Hashed int
+	// ViaArg is passed to the hasher at a call site.
+	ViaArg string
+	// Exempt never reaches the key, with a recorded reason.
+	//
+	//mtlint:cachekey-exempt diagnostics only, never affects behavior
+	Exempt bool
+	// Forgotten affects behavior but nobody hashes it.
+	Forgotten int // want `Options\.Forgotten is neither hashed`
+	// BadExempt claims an exemption without saying why.
+	//
+	//mtlint:cachekey-exempt
+	BadExempt int // want `BadExempt: //mtlint:cachekey-exempt needs a justification`
+}
+
+// keyOf is the run group's hasher.
+//
+//mtlint:cachekey-hasher run
+func keyOf(opts *Options, extra string) string {
+	return string(rune(opts.Hashed)) + extra
+}
+
+// useViaArg hashes ViaArg by handing it to keyOf.
+func useViaArg(opts *Options) string {
+	return keyOf(opts, opts.ViaArg)
+}
+
+// Orphan is marked but has no hasher to audit against.
+//
+//mtlint:cachekey orphan
+type Orphan struct { // want `//mtlint:cachekey orphan has no //mtlint:cachekey-hasher orphan function`
+	// Field is unauditable until a hasher exists.
+	Field int
+}
+
+// danglingKey names a group with no marked struct.
+//
+//mtlint:cachekey-hasher dangling
+func danglingKey() string { return "" } // want `//mtlint:cachekey-hasher dangling has no //mtlint:cachekey dangling struct`
+
+// Unmarked carries a dead exemption: the struct is never audited, so
+// the claim is noise.
+type Unmarked struct {
+	//mtlint:cachekey-exempt stale claim
+	Field int // want `//mtlint:cachekey-exempt on a field of Unmarked, which has no //mtlint:cachekey directive`
+}
+
+// Nameless is missing its group name.
+//
+//mtlint:cachekey
+type Nameless struct { // want `//mtlint:cachekey needs a group name`
+	// Field is never audited.
+	Field int
+}

@@ -1,0 +1,64 @@
+// Package exporteddoctest is the exporteddoc analyzer's fixture: a
+// single-segment import path, so its exported surface is contract.
+// Field and const/var expectations use the offset form (want:-N)
+// because a same-line want comment would itself document the symbol.
+package exporteddoctest
+
+// Documented carries the doc comment the contract requires.
+type Documented struct {
+	// Field is documented.
+	Field int
+	// Tagged is documented too.
+	Tagged int
+}
+
+type Undocumented struct{} // want `undocumented exported symbol: type Undocumented`
+
+// Mixed documents the type but not every member.
+type Mixed struct {
+	// OK is documented.
+	OK     int
+	NotOK  int // a trailing comment counts as documentation
+	hidden int
+
+	Silent int
+	// want:-1 `undocumented exported symbol: Mixed\.Silent`
+}
+
+func Exported() {} // want `undocumented exported symbol: func Exported`
+
+// Receiver is exported, so its exported methods need doc.
+type Receiver struct{}
+
+func (Receiver) Loud() {} // want `undocumented exported symbol: func \(Receiver\)\.Loud`
+
+// quiet is unexported; its exported-looking methods are not API.
+type quiet struct{}
+
+func (quiet) Loud() {}
+
+// Iface is an interface whose methods are contract too.
+type Iface interface {
+	// Known is documented.
+	Known()
+
+	Unknown()
+	// want:-1 `undocumented exported symbol: Iface\.Unknown`
+}
+
+// Grouped consts share the group doc.
+const (
+	GroupedA = iota
+	GroupedB
+)
+
+const Alone = 1
+
+// want:-2 `undocumented exported symbol: const/var Alone`
+
+var Loose int
+
+// want:-2 `undocumented exported symbol: const/var Loose`
+
+// helper is unexported and needs no doc.
+func helper() {}

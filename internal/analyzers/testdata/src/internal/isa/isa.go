@@ -1,0 +1,91 @@
+// Package isa is the ffwd analyzer's fixture: it declares the Stream
+// and FastForwarder interfaces the pass resolves by package-path
+// suffix, plus implementations on both sides of the contract.
+package isa
+
+// Instr is a single dynamic instruction.
+type Instr struct{}
+
+// Stream produces a deterministic sequence of instructions.
+type Stream interface {
+	// Next fills *Instr and reports whether the stream continues.
+	Next(*Instr) bool
+	// Reset rewinds the stream to its initial state.
+	Reset()
+}
+
+// FastForwarder is implemented by streams whose state the phase-skip
+// engine can capture and advance analytically.
+type FastForwarder interface {
+	// FFSupported reports whether capture works for this value.
+	FFSupported() bool
+	// FFNorm appends the normalized state.
+	FFNorm(b []byte) []byte
+	// FFCtrs appends the extensive counters.
+	FFCtrs(c []int64) []int64
+	// FFAdvance applies k windows of the per-window deltas.
+	FFAdvance(k, dt int64, d []int64) []int64
+}
+
+// Good implements both sides of the contract.
+type Good struct{ pos int }
+
+// Next implements Stream.
+func (g *Good) Next(*Instr) bool { return false }
+
+// Reset implements Stream.
+func (g *Good) Reset() { g.pos = 0 }
+
+// FFSupported implements FastForwarder.
+func (g *Good) FFSupported() bool { return true }
+
+// FFNorm implements FastForwarder.
+func (g *Good) FFNorm(b []byte) []byte { return append(b, byte(g.pos)) }
+
+// FFCtrs implements FastForwarder.
+func (g *Good) FFCtrs(c []int64) []int64 { return c }
+
+// FFAdvance implements FastForwarder.
+func (g *Good) FFAdvance(k, dt int64, d []int64) []int64 { return d }
+
+// Bad holds per-cycle state the phase-skip engine cannot snapshot.
+type Bad struct{ pos int } // want `Bad implements isa\.Stream but not isa\.FastForwarder`
+
+// Next implements Stream.
+func (b *Bad) Next(*Instr) bool { b.pos++; return true }
+
+// Reset implements Stream.
+func (b *Bad) Reset() { b.pos = 0 }
+
+// Excused opts out with a recorded reason.
+//
+//mtlint:no-ffwd wraps an external trace reader whose cursor cannot be rewound
+type Excused struct{}
+
+// Next implements Stream.
+func (Excused) Next(*Instr) bool { return false }
+
+// Reset implements Stream.
+func (Excused) Reset() {}
+
+// Unexcused opts out without saying why.
+//
+//mtlint:no-ffwd
+type Unexcused struct{} // want `//mtlint:no-ffwd needs a reason`
+
+// Next implements Stream.
+func (Unexcused) Next(*Instr) bool { return false }
+
+// Reset implements Stream.
+func (Unexcused) Reset() {}
+
+// Filter is an interface extending Stream; interfaces declare the
+// contract rather than holding state, so the pass skips them.
+type Filter interface {
+	Stream
+	// Keep reports whether the instruction survives the filter.
+	Keep(*Instr) bool
+}
+
+// NotAStream has no Next/Reset and is ignored entirely.
+type NotAStream struct{ n int }

@@ -1,0 +1,66 @@
+// Package power5 is the determinism analyzer's fixture: its import path
+// ends in internal/power5, one of the simulator-core suffixes the pass
+// applies to.
+package power5
+
+import (
+	"math/rand" // want `import of math/rand in a simulator-core package`
+	"sort"
+	"time"
+)
+
+// wallClock reads real time from inside the simulator core.
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `time\.Now in a simulator-core package`
+}
+
+// sleepy couples behavior to real elapsed time.
+func sleepy() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep in a simulator-core package`
+}
+
+// leakyOrder lets map iteration order escape into the result.
+func leakyOrder(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `range over a map in a simulator-core package`
+		out = append(out, k+"!")
+	}
+	return out
+}
+
+// collectAndSort is the blessed idiom: the loop only accumulates, and
+// every accumulator is sorted before use.
+func collectAndSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// annotated documents why order cannot escape.
+func annotated(m map[string]int) int {
+	sum := 0
+	//mtlint:orderinsensitive addition is commutative
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// badAnnotation claims insensitivity without a reason.
+func badAnnotation(m map[string]int) int {
+	sum := 0
+	//mtlint:orderinsensitive
+	for _, v := range m { // want `//mtlint:orderinsensitive needs a reason`
+		sum += v
+	}
+	return sum
+}
+
+// seeded keeps the deterministic parts in use so the fixture
+// type-checks without unused-variable errors.
+func seeded() int {
+	return rand.Int()
+}

@@ -1,0 +1,69 @@
+// Package registrytest is the registry analyzer's fixture: it mirrors
+// the repository's registration surface (RegisterPolicy, factory map
+// literals, Params methods, param helpers) with names on both sides of
+// the spec grammar.
+package registrytest
+
+// Policy is the registered behavior.
+type Policy interface {
+	// Name returns the policy's registered name.
+	Name() string
+}
+
+// PolicyFactory builds a policy from parsed parameters.
+type PolicyFactory func(params map[string]string) (Policy, error)
+
+// ScenarioFactory builds a scenario from parsed parameters.
+type ScenarioFactory func(params map[string]string) (any, error)
+
+// RegisterPolicy mirrors the root package's registration entry point.
+func RegisterPolicy(name string, factory PolicyFactory) error { return nil }
+
+// RegisterScenario mirrors the root package's registration entry point.
+func RegisterScenario(name string, factory ScenarioFactory) error { return nil }
+
+// paramInt mirrors the root package's parameter helper.
+func paramInt(params map[string]string, key string, def, min, max int) (int, error) {
+	return def, nil
+}
+
+func register() {
+	_ = RegisterPolicy("good", nil)
+	_ = RegisterPolicy("bad,name", nil) // want `policy name "bad,name" contains ,`
+	_ = RegisterPolicy("bad name", nil) // want `policy name "bad name" contains whitespace`
+	_ = RegisterScenario("", nil)       // want `scenario name "" is empty`
+	_ = RegisterScenario("a=b", nil)    // want `scenario name "a=b" contains =`
+	for name, factory := range map[string]PolicyFactory{
+		"fine":     nil,
+		"als;o":    nil, // want `policy name "als;o" contains ;`
+		"trailing": nil,
+	} {
+		_ = RegisterPolicy(name, factory)
+	}
+	for name, factory := range map[string]ScenarioFactory{
+		"shape=x": nil, // want `scenario name "shape=x" contains =`
+	} {
+		_ = RegisterScenario(name, factory)
+	}
+}
+
+// fixed is a policy with a Params identity surface.
+type fixed struct{}
+
+// Name implements Policy.
+func (fixed) Name() string { return "fixed" }
+
+// Params renders the policy's parameters.
+func (fixed) Params() map[string]string {
+	return map[string]string{
+		"gain":    "1",
+		"Dead":    "0", // want `Params\(\) key "Dead" is not lower-case`
+		"max=off": "2", // want `Params\(\) key "max=off" contains =`
+	}
+}
+
+func readParams(params map[string]string) {
+	_, _ = paramInt(params, "maxdiff", 0, 1, 4)
+	_, _ = paramInt(params, "MaxDiff", 0, 1, 4)  // want `parameter key "MaxDiff" is not lower-case`
+	_, _ = paramInt(params, "max diff", 0, 1, 4) // want `parameter key "max diff" contains whitespace`
+}

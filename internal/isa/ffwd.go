@@ -1,0 +1,169 @@
+package isa
+
+import "encoding/binary"
+
+// This file implements FastForwarder for the stream combinators, so a
+// machine built from them stays eligible for phase-skip (a single
+// unsupported stream disables the fast path for the whole run).  Each
+// implementation leads with a distinct tag byte so differently-shaped
+// stream trees can never produce colliding snapshots.
+//
+// Normalization rules, per type:
+//
+//   - SliceStream: exhaustion (pos >= len) is an absolute event, so the
+//     raw position is the norm; it is also the one extensive counter.
+//   - LoopStream: pos wraps inside Next and stays in [0, len), so it is
+//     pure norm — it cannot grow across a window whose norm recurs, and
+//     there is nothing to extrapolate.
+//   - LimitStream: the raw used count is norm (cut-off is absolute) and
+//     counter, followed by the inner stream's state.
+//   - ConcatStream: the current part index is norm; every part is then
+//     captured in order — parts already exhausted still participate so
+//     the append order is static and matches FFCtrs/FFAdvance.
+//   - CountingStream: Count is deliberately excluded from the norm (it
+//     grows monotonically without influencing future output, and would
+//     otherwise block every snapshot match) but is the first extensive
+//     counter, followed by the inner stream's state.
+//
+// Wrappers support capture exactly when every wrapped stream does.
+
+// ffStream returns s as a supported FastForwarder, or ok=false when s
+// cannot be captured.
+func ffStream(s Stream) (FastForwarder, bool) {
+	ff, ok := s.(FastForwarder)
+	if !ok || !ff.FFSupported() {
+		return nil, false
+	}
+	return ff, true
+}
+
+// FFSupported implements FastForwarder.
+func (s *SliceStream) FFSupported() bool { return true }
+
+// FFNorm implements FastForwarder.
+func (s *SliceStream) FFNorm(b []byte) []byte {
+	b = append(b, 0xE1)
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(s.Instrs)))
+	return binary.LittleEndian.AppendUint64(b, uint64(s.pos))
+}
+
+// FFCtrs implements FastForwarder.
+func (s *SliceStream) FFCtrs(c []int64) []int64 { return append(c, int64(s.pos)) }
+
+// FFAdvance implements FastForwarder.
+func (s *SliceStream) FFAdvance(k, dt int64, d []int64) []int64 {
+	s.pos += int(k * d[0])
+	return d[1:]
+}
+
+// FFSupported implements FastForwarder.
+func (s *LoopStream) FFSupported() bool { return true }
+
+// FFNorm implements FastForwarder.
+func (s *LoopStream) FFNorm(b []byte) []byte {
+	b = append(b, 0xE2)
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(s.Body)))
+	return binary.LittleEndian.AppendUint64(b, uint64(s.pos))
+}
+
+// FFCtrs implements FastForwarder.
+func (s *LoopStream) FFCtrs(c []int64) []int64 { return c }
+
+// FFAdvance implements FastForwarder.
+func (s *LoopStream) FFAdvance(k, dt int64, d []int64) []int64 { return d }
+
+// FFSupported implements FastForwarder.
+func (s *LimitStream) FFSupported() bool {
+	_, ok := ffStream(s.Inner)
+	return ok
+}
+
+// FFNorm implements FastForwarder.
+func (s *LimitStream) FFNorm(b []byte) []byte {
+	b = append(b, 0xE3)
+	b = binary.LittleEndian.AppendUint64(b, uint64(s.N))
+	b = binary.LittleEndian.AppendUint64(b, uint64(s.used))
+	ff, _ := ffStream(s.Inner)
+	return ff.FFNorm(b)
+}
+
+// FFCtrs implements FastForwarder.
+func (s *LimitStream) FFCtrs(c []int64) []int64 {
+	c = append(c, s.used)
+	ff, _ := ffStream(s.Inner)
+	return ff.FFCtrs(c)
+}
+
+// FFAdvance implements FastForwarder.
+func (s *LimitStream) FFAdvance(k, dt int64, d []int64) []int64 {
+	s.used += k * d[0]
+	ff, _ := ffStream(s.Inner)
+	return ff.FFAdvance(k, dt, d[1:])
+}
+
+// FFSupported implements FastForwarder.
+func (s *ConcatStream) FFSupported() bool {
+	for _, p := range s.Parts {
+		if _, ok := ffStream(p); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// FFNorm implements FastForwarder.
+func (s *ConcatStream) FFNorm(b []byte) []byte {
+	b = append(b, 0xE4)
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(s.Parts)))
+	b = binary.LittleEndian.AppendUint64(b, uint64(s.cur))
+	for _, p := range s.Parts {
+		ff, _ := ffStream(p)
+		b = ff.FFNorm(b)
+	}
+	return b
+}
+
+// FFCtrs implements FastForwarder.
+func (s *ConcatStream) FFCtrs(c []int64) []int64 {
+	for _, p := range s.Parts {
+		ff, _ := ffStream(p)
+		c = ff.FFCtrs(c)
+	}
+	return c
+}
+
+// FFAdvance implements FastForwarder.
+func (s *ConcatStream) FFAdvance(k, dt int64, d []int64) []int64 {
+	for _, p := range s.Parts {
+		ff, _ := ffStream(p)
+		d = ff.FFAdvance(k, dt, d)
+	}
+	return d
+}
+
+// FFSupported implements FastForwarder.
+func (s *CountingStream) FFSupported() bool {
+	_, ok := ffStream(s.Inner)
+	return ok
+}
+
+// FFNorm implements FastForwarder.
+func (s *CountingStream) FFNorm(b []byte) []byte {
+	b = append(b, 0xE5)
+	ff, _ := ffStream(s.Inner)
+	return ff.FFNorm(b)
+}
+
+// FFCtrs implements FastForwarder.
+func (s *CountingStream) FFCtrs(c []int64) []int64 {
+	c = append(c, s.Count)
+	ff, _ := ffStream(s.Inner)
+	return ff.FFCtrs(c)
+}
+
+// FFAdvance implements FastForwarder.
+func (s *CountingStream) FFAdvance(k, dt int64, d []int64) []int64 {
+	s.Count += k * d[0]
+	ff, _ := ffStream(s.Inner)
+	return ff.FFAdvance(k, dt, d[1:])
+}

@@ -1,0 +1,138 @@
+package isa
+
+import (
+	"bytes"
+	"testing"
+)
+
+// step pulls n instructions off the stream, failing if it dries up.
+func step(t *testing.T, s Stream, n int) {
+	t.Helper()
+	var in Instr
+	for i := 0; i < n; i++ {
+		if !s.Next(&in) {
+			t.Fatalf("stream exhausted after %d of %d instructions", i, n)
+		}
+	}
+}
+
+// body is a two-instruction loop kernel shared by the combinator tests.
+var body = []Instr{{Op: FP, Dep: 1}, {Op: Branch, Taken: true}}
+
+// TestCombinatorFastForward drives each combinator the slow way and via
+// FFAdvance and checks the norms and counters agree — the exact
+// equivalence the phase-skip engine relies on when it applies k window
+// repetitions at once.
+func TestCombinatorFastForward(t *testing.T) {
+	mk := func() map[string]func() Stream {
+		return map[string]func() Stream{
+			"slice": func() Stream { return NewSliceStream(make([]Instr, 64)) },
+			"loop":  func() Stream { return NewLoopStream(body) },
+			"limit": func() Stream { return Limit(NewLoopStream(body), 64) },
+			"concat": func() Stream {
+				return Concat(NewSliceStream(make([]Instr, 4)), NewLoopStream(body))
+			},
+			"counting": func() Stream { return NewCounting(NewLoopStream(body)) },
+		}
+	}
+	// Window of 4 instructions, applied 5 more times: slow stream takes
+	// 4 + 4 + 5*4 steps, fast stream takes 4 + 4 steps then one
+	// FFAdvance(5, ...).
+	const window, reps = 4, int64(5)
+	for name, newStream := range mk() {
+		t.Run(name, func(t *testing.T) {
+			slow := newStream()
+			fast := newStream()
+			sff := slow.(FastForwarder)
+			fff := fast.(FastForwarder)
+			if !sff.FFSupported() || !fff.FFSupported() {
+				t.Fatal("combinator does not support fast-forward")
+			}
+			step(t, slow, window)
+			step(t, fast, window)
+			before := fff.FFCtrs(nil)
+			step(t, slow, window)
+			step(t, fast, window)
+			after := fff.FFCtrs(nil)
+			if len(before) != len(after) {
+				t.Fatalf("counter count changed across window: %d -> %d", len(before), len(after))
+			}
+			// The loop-based kernels recur with period 2, so a 4-wide
+			// window recurs exactly; assert it (slice is position-normed
+			// and skipped).
+			delta := make([]int64, len(after))
+			for i := range after {
+				delta[i] = after[i] - before[i]
+			}
+			d := fff.FFAdvance(reps, 0, delta)
+			if len(d) != 0 {
+				t.Fatalf("FFAdvance left %d unconsumed deltas", len(d))
+			}
+			step(t, slow, int(reps)*window)
+			slowNorm := sff.FFNorm(nil)
+			fastNorm := fff.FFNorm(nil)
+			if !bytes.Equal(slowNorm, fastNorm) {
+				t.Fatalf("norms diverge after fast-forward:\n slow %x\n fast %x", slowNorm, fastNorm)
+			}
+			slowCtrs := sff.FFCtrs(nil)
+			fastCtrs := fff.FFCtrs(nil)
+			for i := range slowCtrs {
+				if slowCtrs[i] != fastCtrs[i] {
+					t.Fatalf("counter %d diverges after fast-forward: slow %d fast %d", i, slowCtrs[i], fastCtrs[i])
+				}
+			}
+			// Both streams must agree on what comes next.
+			var si, fi Instr
+			sOK, fOK := slow.Next(&si), fast.Next(&fi)
+			if sOK != fOK || si != fi {
+				t.Fatalf("post-skip streams diverge: slow (%v,%v) fast (%v,%v)", si, sOK, fi, fOK)
+			}
+		})
+	}
+}
+
+// TestCombinatorFFUnsupportedPropagates checks that wrapping a stream
+// without capture support reports unsupported instead of panicking or
+// silently snapshotting garbage.
+func TestCombinatorFFUnsupportedPropagates(t *testing.T) {
+	type bare struct{ Stream }
+	opaque := bare{NewLoopStream(body)}
+	for name, s := range map[string]Stream{
+		"limit":    Limit(opaque, 10),
+		"concat":   Concat(Empty{}, opaque),
+		"counting": NewCounting(opaque),
+	} {
+		ff, ok := s.(FastForwarder)
+		if !ok {
+			t.Fatalf("%s: wrapper lost the FastForwarder implementation", name)
+		}
+		if ff.FFSupported() {
+			t.Errorf("%s: FFSupported() = true around a non-capturable inner stream", name)
+		}
+	}
+}
+
+// TestCombinatorNormTags checks every combinator leads its norm with a
+// distinct tag byte, so differently-shaped stream trees can never
+// produce colliding snapshots.
+func TestCombinatorNormTags(t *testing.T) {
+	streams := []FastForwarder{
+		Empty{},
+		NewSliceStream(nil),
+		NewLoopStream(body),
+		Limit(Empty{}, 1),
+		Concat(),
+		NewCounting(Empty{}),
+	}
+	seen := make(map[byte]int)
+	for i, s := range streams {
+		norm := s.FFNorm(nil)
+		if len(norm) == 0 {
+			t.Fatalf("stream %d: empty norm", i)
+		}
+		if prev, dup := seen[norm[0]]; dup {
+			t.Errorf("streams %d and %d share norm tag %#x", prev, i, norm[0])
+		}
+		seen[norm[0]] = i
+	}
+}

@@ -149,37 +149,48 @@ type Compute struct {
 
 // Exchange is a neighbour-exchange phase on the wire.
 type Exchange struct {
+	// Bytes is the per-peer message size.
 	Bytes int64 `json:"bytes"`
+	// Peers lists the ranks exchanged with.
 	Peers []int `json:"peers"`
 }
 
 // Phase is one program step; exactly one of the three fields is set.
 type Phase struct {
-	Compute  *Compute  `json:"compute,omitempty"`
-	Barrier  bool      `json:"barrier,omitempty"`
+	// Compute runs a synthetic kernel.
+	Compute *Compute `json:"compute,omitempty"`
+	// Barrier synchronizes all ranks.
+	Barrier bool `json:"barrier,omitempty"`
+	// Exchange passes messages between neighbour ranks.
 	Exchange *Exchange `json:"exchange,omitempty"`
 }
 
 // Job is an MPI-style job on the wire.
 type Job struct {
-	Name  string    `json:"name,omitempty"`
+	// Name labels the job in diagnostics; it never affects results.
+	Name string `json:"name,omitempty"`
+	// Ranks holds each rank's phase program.
 	Ranks [][]Phase `json:"ranks"`
 }
 
 // Placement pins ranks explicitly; omitted in RunRequest it defaults to
 // pin-in-order at medium priority (the paper's Case A).
 type Placement struct {
-	CPUs       []int `json:"cpus"`
+	// CPUs pins rank i to logical CPU CPUs[i].
+	CPUs []int `json:"cpus"`
+	// Priorities is each rank's hardware thread priority.
 	Priorities []int `json:"priorities"`
 }
 
 // RunRequest is the POST /v1/run body.
 type RunRequest struct {
+	// Job is the program to simulate.
 	Job Job `json:"job"`
 	// Placement pins ranks by logical CPU; Pin pins them by
 	// "chip.core.context[@prio]" triples.  At most one may be set.
 	Placement *Placement `json:"placement,omitempty"`
-	Pin       string     `json:"pin,omitempty"`
+	// Pin is the triple-syntax alternative to Placement.
+	Pin string `json:"pin,omitempty"`
 	// Policy attaches an online balancing policy to the run, in
 	// ParsePolicy syntax — e.g. "dyn,maxdiff=2", "hier", "feedback".
 	// Empty means no policy (the static launch priorities are final).
@@ -188,37 +199,53 @@ type RunRequest struct {
 
 // RankResult is one rank's outcome on the wire.
 type RankResult struct {
-	CPU          int     `json:"cpu"`
-	Core         int     `json:"core"`
-	Chip         int     `json:"chip"`
-	Priority     int     `json:"priority"`
-	ComputePct   float64 `json:"compute_pct"`
-	SyncPct      float64 `json:"sync_pct"`
-	CommPct      float64 `json:"comm_pct"`
-	Instructions int64   `json:"instructions"`
+	// CPU is the logical CPU the rank ran on.
+	CPU int `json:"cpu"`
+	// Core is the global chip-major core index.
+	Core int `json:"core"`
+	// Chip locates the core's chip.
+	Chip int `json:"chip"`
+	// Priority is the rank's final hardware thread priority.
+	Priority int `json:"priority"`
+	// ComputePct is the share of time spent computing.
+	ComputePct float64 `json:"compute_pct"`
+	// SyncPct is the share of time spent waiting at barriers.
+	SyncPct float64 `json:"sync_pct"`
+	// CommPct is the share of time spent in exchanges.
+	CommPct float64 `json:"comm_pct"`
+	// Instructions is the rank's retired instruction count.
+	Instructions int64 `json:"instructions"`
 }
 
 // RunResponse is the POST /v1/run reply.
 type RunResponse struct {
-	Seconds      float64 `json:"seconds"`
-	Cycles       int64   `json:"cycles"`
+	// Seconds is the simulated wall time.
+	Seconds float64 `json:"seconds"`
+	// Cycles is the simulated cycle count.
+	Cycles int64 `json:"cycles"`
+	// ImbalancePct measures load imbalance across ranks.
 	ImbalancePct float64 `json:"imbalance_pct"`
-	Iterations   int     `json:"iterations"`
+	// Iterations is the number of barrier releases observed.
+	Iterations int `json:"iterations"`
 	// Policy is the resolved canonical identity of the balancing policy
 	// the run executed under ("static" when none was attached).
 	Policy string `json:"policy"`
 	// BalancerMoves counts the priority rewrites the policy applied.
-	BalancerMoves int          `json:"balancer_moves"`
-	Ranks         []RankResult `json:"ranks"`
+	BalancerMoves int `json:"balancer_moves"`
+	// Ranks holds each rank's outcome.
+	Ranks []RankResult `json:"ranks"`
 }
 
 // SweepSpace selects the search space on the wire.
 type SweepSpace struct {
 	// Alphabet is "user" (priorities 2-4, the default) or "os" (2-6).
 	// Priorities, if set, overrides it with an explicit list.
-	Alphabet   string `json:"alphabet,omitempty"`
-	Priorities []int  `json:"priorities,omitempty"`
-	FixPairing bool   `json:"fix_pairing,omitempty"`
+	Alphabet string `json:"alphabet,omitempty"`
+	// Priorities is the explicit priority alphabet overriding Alphabet.
+	Priorities []int `json:"priorities,omitempty"`
+	// FixPairing keeps the default rank-to-CPU pairing and sweeps only
+	// priorities.
+	FixPairing bool `json:"fix_pairing,omitempty"`
 	// Policies adds a balancing-policy axis: each entry is a ParsePolicy
 	// specification, and the ranking covers every policy × placement ×
 	// priority configuration (the stream's entries carry a policy field).
@@ -228,38 +255,54 @@ type SweepSpace struct {
 // SweepObjective weights the ranking objective; the zero value minimizes
 // execution time.
 type SweepObjective struct {
-	CyclesWeight    float64 `json:"cycles_weight,omitempty"`
+	// CyclesWeight weights execution time in the score.
+	CyclesWeight float64 `json:"cycles_weight,omitempty"`
+	// ImbalanceWeight weights load imbalance in the score.
 	ImbalanceWeight float64 `json:"imbalance_weight,omitempty"`
 }
 
 // SweepRequest is the POST /v1/sweep body.
 type SweepRequest struct {
-	Job       Job            `json:"job"`
-	Space     SweepSpace     `json:"space"`
-	Top       int            `json:"top,omitempty"`
+	// Job is the program to sweep placements for.
+	Job Job `json:"job"`
+	// Space selects the placement/priority search space.
+	Space SweepSpace `json:"space"`
+	// Top caps the number of ranked entries streamed back.
+	Top int `json:"top,omitempty"`
+	// Objective weights the ranking score.
 	Objective SweepObjective `json:"objective"`
 }
 
 // SweepEntryJSON is one ranked configuration, one NDJSON chunk of the
 // sweep stream.
 type SweepEntryJSON struct {
+	// Rank is the entry's 1-based position in the ranking.
 	Rank int `json:"rank"`
 	// Policy identifies the entry's balancing policy on policy-axis
 	// sweeps; omitted otherwise.
-	Policy       string  `json:"policy,omitempty"`
-	CPUs         []int   `json:"cpus"`
-	Priorities   []int   `json:"priorities"`
-	Cycles       int64   `json:"cycles"`
-	Seconds      float64 `json:"seconds"`
+	Policy string `json:"policy,omitempty"`
+	// CPUs is the evaluated placement.
+	CPUs []int `json:"cpus"`
+	// Priorities is the evaluated priority assignment.
+	Priorities []int `json:"priorities"`
+	// Cycles is the configuration's simulated cycle count.
+	Cycles int64 `json:"cycles"`
+	// Seconds is the configuration's simulated wall time.
+	Seconds float64 `json:"seconds"`
+	// ImbalancePct measures the configuration's load imbalance.
 	ImbalancePct float64 `json:"imbalance_pct"`
-	Score        float64 `json:"score"`
+	// Score is the objective value the ranking sorts by.
+	Score float64 `json:"score"`
 }
 
 // SweepDone is the terminal NDJSON chunk of a sweep stream.
 type SweepDone struct {
-	Done      bool `json:"done"`
-	Evaluated int  `json:"evaluated"`
-	Returned  int  `json:"returned"`
+	// Done is always true; it marks the terminal chunk.
+	Done bool `json:"done"`
+	// Evaluated counts the configurations simulated.
+	Evaluated int `json:"evaluated"`
+	// Returned counts the entries streamed before this chunk.
+	Returned int `json:"returned"`
 }
 
 // MatrixRequest is the POST /v1/matrix body: every policy evaluated on
@@ -280,20 +323,30 @@ type MatrixRequest struct {
 // MatrixEntryJSON is one evaluation, one NDJSON chunk of the matrix
 // stream.
 type MatrixEntryJSON struct {
-	Topology     string  `json:"topology"`
-	Scenario     string  `json:"scenario"`
-	Policy       string  `json:"policy"`
-	Cycles       int64   `json:"cycles"`
-	Seconds      float64 `json:"seconds"`
+	// Topology renders the cell's machine as "chips x cores x smt".
+	Topology string `json:"topology"`
+	// Scenario is the cell's canonical scenario identity.
+	Scenario string `json:"scenario"`
+	// Policy is the evaluated policy's canonical identity.
+	Policy string `json:"policy"`
+	// Cycles is the evaluation's simulated cycle count.
+	Cycles int64 `json:"cycles"`
+	// Seconds is the evaluation's simulated wall time.
+	Seconds float64 `json:"seconds"`
+	// ImbalancePct measures the evaluation's load imbalance.
 	ImbalancePct float64 `json:"imbalance_pct"`
-	Speedup      float64 `json:"speedup_vs_static"`
+	// Speedup is the policy's speedup over the static control.
+	Speedup float64 `json:"speedup_vs_static"`
 }
 
 // MatrixDone is the terminal NDJSON chunk of a matrix stream.
 type MatrixDone struct {
-	Done    bool `json:"done"`
-	Cells   int  `json:"cells"`
-	Entries int  `json:"entries"`
+	// Done is always true; it marks the terminal chunk.
+	Done bool `json:"done"`
+	// Cells counts the topology × scenario cells evaluated.
+	Cells int `json:"cells"`
+	// Entries counts the per-policy entries streamed before this chunk.
+	Entries int `json:"entries"`
 }
 
 // ServeStats reports the admission gate's state in /healthz.
@@ -306,16 +359,22 @@ type ServeStats struct {
 	Rejected int64 `json:"rejected"`
 	// MaxInFlight and MaxQueue echo the effective limits.
 	MaxInFlight int `json:"max_in_flight"`
-	MaxQueue    int `json:"max_queue"`
+	// MaxQueue is the admission queue's capacity.
+	MaxQueue int `json:"max_queue"`
 }
 
 // Health is the GET /healthz reply.
 type Health struct {
-	Status   string                `json:"status"`
-	Topology string                `json:"topology"`
-	Contexts int                   `json:"contexts"`
-	Cache    smtbalance.CacheStats `json:"cache"`
-	Serve    ServeStats            `json:"serve"`
+	// Status is "ok" whenever the server answers.
+	Status string `json:"status"`
+	// Topology renders the machine as "chips x cores x smt".
+	Topology string `json:"topology"`
+	// Contexts is the machine's hardware context count.
+	Contexts int `json:"contexts"`
+	// Cache reports the result cache's hit/miss counters.
+	Cache smtbalance.CacheStats `json:"cache"`
+	// Serve reports the admission gate's state.
+	Serve ServeStats `json:"serve"`
 }
 
 // errorJSON is every error reply's shape.

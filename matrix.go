@@ -14,6 +14,8 @@ import (
 // every scenario on every topology.  The paper compares balancers on a
 // handful of hand-built cases; the matrix is that comparison
 // industrialized — "characterize any balancer on any imbalance shape".
+//
+//mtlint:cachekey matrix
 type MatrixSpec struct {
 	// Scenarios is the imbalance-shape axis (at least one).
 	Scenarios []Scenario
@@ -187,7 +189,11 @@ func (mx *Matrix) putCell(key cacheKey, entries []MatrixEntry) {
 }
 
 // resolveSpec validates the spec and returns the effective policy list
-// (static control first when it had to be added) and topology list.
+// (static control first when it had to be added) and topology list —
+// the identities matrixCellKey then hashes, so every MatrixSpec axis
+// flows into the cell key through here.
+//
+//mtlint:cachekey-hasher matrix
 func resolveSpec(spec MatrixSpec) ([]Policy, []Topology, error) {
 	if len(spec.Scenarios) == 0 {
 		return nil, nil, fmt.Errorf("smtbalance: MatrixSpec.Scenarios is empty; ParseScenario(\"uniform\") is the minimal axis")

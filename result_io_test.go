@@ -1,5 +1,7 @@
 package smtbalance
 
+//lint:file-ignore SA1019 the deprecated Run/Sweep wrappers and DynamicBalance knobs are exercised on purpose: these tests pin that the old spellings stay behavior-identical to their replacements
+
 import (
 	"fmt"
 	"strings"

@@ -140,6 +140,8 @@ type IterationStats struct {
 // Options tunes a run.  The zero value (or nil) is the paper's
 // environment: the patched kernel with 1000 Hz-equivalent timer ticks,
 // warmed caches, no balancer, the single-chip machine.
+//
+//mtlint:cachekey run
 type Options struct {
 	// Topology sizes the machine as chips × cores-per-chip × SMT ways.
 	// The zero value is the paper's 1×2×2 OpenPower 710 (4 contexts);
@@ -180,6 +182,8 @@ type Options struct {
 	// instead.
 	MaxPriorityDiff int
 	// OnIteration, if set, is called at every barrier release.
+	//
+	//mtlint:cachekey-exempt presence disables result caching entirely (Machine.Run), so no cached entry can ever alias a hooked run
 	OnIteration func(IterationStats)
 	// LoadDrift, if set, rescales each compute phase's instruction
 	// count as its rank enters it: before rank r starts its i-th
@@ -191,6 +195,8 @@ type Options struct {
 	// OnIteration, LoadDrift disables result caching for Run calls and
 	// is rejected in sweeps; the hook must be deterministic for runs to
 	// be reproducible.
+	//
+	//mtlint:cachekey-exempt presence disables result caching entirely, like OnIteration; an arbitrary function has no hashable identity
 	LoadDrift func(rank, phase int, n int64) int64
 	// MaxCycles aborts runs that stop progressing (0 = generous default).
 	MaxCycles int64
@@ -201,6 +207,8 @@ type Options struct {
 	// the flag exists for benchmarking the simulator itself and as a
 	// diagnostic escape hatch, not for accuracy.  Runs with OnIteration
 	// or LoadDrift hooks are implicitly exact.
+	//
+	//mtlint:cachekey-exempt selects between execution strategies with byte-identical results, so both spellings must share cache entries (envJobKey audit)
 	Exact bool
 }
 
@@ -335,7 +343,10 @@ func Run(job Job, pl Placement, opts *Options) (*Result, error) {
 // resolvePolicy returns the run's balancing policy (nil means none),
 // honoring the deprecated DynamicBalance/MaxPriorityDiff knobs, which
 // resolve to the extracted PaperDynamic built-in with identical
-// behavior.
+// behavior.  The resolved policy is what envJobKey hashes, so the three
+// policy-selecting fields flow into the cache key through here.
+//
+//mtlint:cachekey-hasher run
 func (opts *Options) resolvePolicy() (Policy, error) {
 	if opts.Policy != nil {
 		if opts.DynamicBalance {
