@@ -261,22 +261,25 @@ func (r *keyRing) pop() cacheKey {
 // them between replicas pointed at one directory.
 type resultCache struct {
 	mu           sync.Mutex
-	hits, misses int64
-	coalesced    int64
-	diskHits     int64
-	diskWrites   int64
+	hits, misses int64 //mtlint:guardedby mu
+	coalesced    int64 //mtlint:guardedby mu
+	diskHits     int64 //mtlint:guardedby mu
+	diskWrites   int64 //mtlint:guardedby mu
 
-	runs     map[cacheKey]*Result
-	runOrder keyRing
-	runCap   int
+	runs     map[cacheKey]*Result //mtlint:guardedby mu
+	runOrder keyRing              //mtlint:guardedby mu
+	runCap   int                  //mtlint:unguarded fixed at construction, read-only afterwards
 
-	mets     map[cacheKey]sweep.Metrics
-	metOrder keyRing
-	metCap   int
+	mets     map[cacheKey]sweep.Metrics //mtlint:guardedby mu
+	metOrder keyRing                    //mtlint:guardedby mu
+	metCap   int                        //mtlint:unguarded fixed at construction, read-only afterwards
 
-	disk *diskcache.Store // nil without a disk tier
+	// disk is nil without a disk tier.
+	disk *diskcache.Store //mtlint:guardedby mu
 
+	//mtlint:unguarded flightGroup synchronizes itself; leaders publish outside c.mu
 	runFlights flightGroup[*Result]
+	//mtlint:unguarded flightGroup synchronizes itself; leaders publish outside c.mu
 	metFlights flightGroup[sweep.Metrics]
 }
 

@@ -1,12 +1,20 @@
 // Command mtlint runs the repository's invariant-enforcing analysis
 // suite (internal/analyzers): the cache-key audit, simulator-core
 // determinism, the phase-skip FastForwarder contract, the registry
-// spec grammar, and exported-symbol documentation.  See docs/lint.md.
+// spec grammar, the concurrency contracts (lock discipline, atomic
+// consistency, context flow, goroutine ownership), and exported-symbol
+// documentation.  See docs/lint.md.
 //
 // It runs two ways:
 //
 //	mtlint ./...                      # standalone, from the module root
 //	go vet -vettool=$(which mtlint) ./...
+//
+// In standalone mode, -json writes the findings as a machine-readable
+// JSON array (to stdout, or to the -out path), and -github prints one
+// GitHub Actions `::error` workflow command per finding on stdout so
+// CI findings annotate the offending lines of a pull request.  The
+// human-readable file:line form always goes to stderr.
 //
 // The vettool mode speaks go vet's unit-checker protocol: -V=full
 // prints a content-addressed version for the build cache, -flags prints
@@ -43,6 +51,9 @@ func run(args []string) int {
 	versionFlag := fs.String("V", "", "if 'full', print the tool version and exit (go vet protocol)")
 	flagsFlag := fs.Bool("flags", false, "print the tool's flag schema as JSON and exit (go vet protocol)")
 	dirFlag := fs.String("dir", ".", "module root to analyze in standalone mode")
+	jsonFlag := fs.Bool("json", false, "standalone mode: also emit findings as a JSON array")
+	outFlag := fs.String("out", "", "standalone mode: write the -json report here instead of stdout")
+	githubFlag := fs.Bool("github", false, "standalone mode: also emit GitHub Actions ::error annotations on stdout")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: mtlint [packages]\n   or: go vet -vettool=$(which mtlint) [packages]\n\nAnalyzers:\n")
 		for _, a := range analyzers.All() {
@@ -68,7 +79,11 @@ func run(args []string) int {
 	if rest := fs.Args(); len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
 		return vetUnit(rest[0])
 	}
-	return standalone(*dirFlag, fs.Args())
+	return standalone(*dirFlag, fs.Args(), reportOptions{
+		json:   *jsonFlag,
+		out:    *outFlag,
+		github: *githubFlag,
+	})
 }
 
 // printVersion implements go vet's -V=full handshake: the reported
@@ -85,9 +100,31 @@ func printVersion() {
 	fmt.Printf("mtlint version devel buildID=%x\n", h.Sum(nil))
 }
 
+// reportOptions selects the standalone mode's machine-readable outputs
+// alongside the human stderr lines.
+type reportOptions struct {
+	json   bool   // emit a JSON array of findings
+	out    string // where the JSON goes ("" = stdout)
+	github bool   // emit ::error workflow commands on stdout
+}
+
+// jsonDiagnostic is one element of the -json report.
+type jsonDiagnostic struct {
+	// File is the diagnostic's path, relative to the analyzed module
+	// root (exactly what GitHub annotations and editors want).
+	File string `json:"file"`
+	// Line and Col are 1-based.
+	Line int `json:"line"`
+	Col  int `json:"col"`
+	// Analyzer names the reporting pass.
+	Analyzer string `json:"analyzer"`
+	// Message describes the violated invariant.
+	Message string `json:"message"`
+}
+
 // standalone loads the module rooted at dir and runs the suite over the
 // requested patterns (default ./...).
-func standalone(dir string, patterns []string) int {
+func standalone(dir string, patterns []string, opts reportOptions) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -109,10 +146,74 @@ func standalone(dir string, patterns []string) int {
 	for _, d := range diags {
 		fmt.Fprintln(os.Stderr, d)
 	}
+	if opts.github {
+		for _, d := range diags {
+			fmt.Println(githubAnnotation(d))
+		}
+	}
+	if opts.json {
+		if err := writeJSONReport(opts.out, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "mtlint: %v\n", err)
+			return 2
+		}
+	}
 	if len(diags) > 0 {
 		return 1
 	}
 	return 0
+}
+
+// writeJSONReport renders diags as an indented JSON array — always an
+// array, so a clean run yields [] rather than null — to path, or
+// stdout when path is empty.
+func writeJSONReport(path string, diags []analyzers.Diagnostic) error {
+	report := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		report = append(report, jsonDiagnostic{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o666)
+}
+
+// githubAnnotation renders one finding as a GitHub Actions workflow
+// command, which the Actions runner turns into an inline annotation on
+// the pull request's diff.
+func githubAnnotation(d analyzers.Diagnostic) string {
+	return fmt.Sprintf("::error file=%s,line=%d,col=%d,title=mtlint/%s::%s",
+		escapeAnnotationProperty(d.Pos.Filename), d.Pos.Line, d.Pos.Column,
+		escapeAnnotationProperty(d.Analyzer), escapeAnnotationData(d.Message))
+}
+
+// escapeAnnotationData escapes a workflow command's message per the
+// Actions runner's rules.
+func escapeAnnotationData(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
+}
+
+// escapeAnnotationProperty escapes a workflow command property value,
+// which additionally reserves the property separators.
+func escapeAnnotationProperty(s string) string {
+	s = escapeAnnotationData(s)
+	s = strings.ReplaceAll(s, ":", "%3A")
+	s = strings.ReplaceAll(s, ",", "%2C")
+	return s
 }
 
 // vetConfig mirrors the unit-description JSON go vet writes for each

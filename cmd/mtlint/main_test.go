@@ -1,0 +1,101 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analyzers"
+)
+
+// captureStd redirects one of the process's standard streams to a temp
+// file for the duration of the test and returns a reader for what was
+// written.
+func captureStd(t *testing.T, std **os.File) func() string {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "std")
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := *std
+	*std = f
+	return func() string {
+		*std = old
+		data, err := os.ReadFile(f.Name())
+		f.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+}
+
+// TestStandaloneReports runs the real CLI over the broken fixture
+// module and checks all three output surfaces: human stderr lines, the
+// -json report file, and -github annotations.
+func TestStandaloneReports(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "report.json")
+	readStdout := captureStd(t, &os.Stdout)
+	readStderr := captureStd(t, &os.Stderr)
+	code := run([]string{"-dir", filepath.Join("testdata", "brokenmod"), "-json", "-out", outPath, "-github", "./..."})
+	stdout, stderr := readStdout(), readStderr()
+
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "goroutine has no visible join") || !strings.Contains(stderr, "[gospawn]") {
+		t.Errorf("stderr missing the human-readable finding:\n%s", stderr)
+	}
+	if !strings.Contains(stdout, "::error file=") || !strings.Contains(stdout, "title=mtlint/gospawn") {
+		t.Errorf("stdout missing the ::error annotation:\n%s", stdout)
+	}
+
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report []jsonDiagnostic
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, data)
+	}
+	if len(report) != 1 {
+		t.Fatalf("report has %d findings, want 1: %+v", len(report), report)
+	}
+	d := report[0]
+	if d.Analyzer != "gospawn" || d.Line != 8 || d.Col == 0 ||
+		filepath.ToSlash(d.File) != "testdata/brokenmod/lib/lib.go" ||
+		!strings.Contains(d.Message, "no visible join") {
+		t.Errorf("unexpected finding: %+v", d)
+	}
+}
+
+// TestJSONReportEmpty pins the clean-run shape: an empty array, not
+// null.
+func TestJSONReportEmpty(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "report.json")
+	if err := writeJSONReport(outPath, nil); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(string(data)); got != "[]" {
+		t.Errorf("empty report = %q, want []", got)
+	}
+}
+
+// TestGitHubAnnotationEscaping pins the workflow-command escaping
+// rules: newlines and percents in messages, separators in properties.
+func TestGitHubAnnotationEscaping(t *testing.T) {
+	d := analyzers.Diagnostic{Analyzer: "demo", Message: "50% broken\nsecond line"}
+	d.Pos.Filename = "a,b:c.go"
+	d.Pos.Line, d.Pos.Column = 3, 7
+	got := githubAnnotation(d)
+	want := "::error file=a%2Cb%3Ac.go,line=3,col=7,title=mtlint/demo::50%25 broken%0Asecond line"
+	if got != want {
+		t.Errorf("githubAnnotation:\n got %q\nwant %q", got, want)
+	}
+}

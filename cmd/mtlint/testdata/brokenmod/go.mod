@@ -1,0 +1,3 @@
+module example.com/brokenmod
+
+go 1.24

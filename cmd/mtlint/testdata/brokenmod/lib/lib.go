@@ -1,0 +1,9 @@
+// Package lib exists to produce exactly one deterministic mtlint
+// finding (an unowned goroutine) for cmd/mtlint's output-format tests.
+package lib
+
+// Leak spawns a goroutine with no visible join: the gospawn violation
+// the tests expect at this line + 1.
+func Leak() {
+	go func() {}()
+}

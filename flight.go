@@ -29,7 +29,7 @@ func (f *flight[V]) publish(val V, err error) {
 // inheriting a cancellation that was never its own.
 type flightGroup[V any] struct {
 	mu      sync.Mutex
-	flights map[cacheKey]*flight[V]
+	flights map[cacheKey]*flight[V] //mtlint:guardedby mu
 }
 
 // join returns the key's in-progress flight and whether the caller is

@@ -111,6 +111,10 @@ func TestCacheKeyFixture(t *testing.T)    { runFixture(t, "cachekeytest", CacheK
 func TestDeterminismFixture(t *testing.T) { runFixture(t, "internal/power5", Determinism) }
 func TestFFwdFixture(t *testing.T)        { runFixture(t, "internal/isa", FFwd) }
 func TestRegistryFixture(t *testing.T)    { runFixture(t, "registrytest", Registry) }
+func TestGuardedByFixture(t *testing.T)   { runFixture(t, "guardedbytest", GuardedBy) }
+func TestAtomicGuardFixture(t *testing.T) { runFixture(t, "atomicguardtest", AtomicGuard) }
+func TestCtxFlowFixture(t *testing.T)     { runFixture(t, "ctxflowtest", CtxFlow) }
+func TestGoSpawnFixture(t *testing.T)     { runFixture(t, "gospawntest", GoSpawn) }
 func TestExportedDocFixture(t *testing.T) { runFixture(t, "exporteddoctest", ExportedDoc) }
 
 // TestRepoClean is the regression gate: the whole repository, loaded
@@ -238,7 +242,7 @@ func TestSuiteShape(t *testing.T) {
 		}
 		seen[a.Name] = true
 	}
-	if len(seen) != 5 {
-		t.Errorf("suite has %d analyzers, want 5", len(seen))
+	if len(seen) != 9 {
+		t.Errorf("suite has %d analyzers, want 9", len(seen))
 	}
 }

@@ -1,0 +1,146 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicGuard enforces all-or-nothing atomicity: once any code path
+// touches a variable through the function-style sync/atomic API
+// (atomic.AddInt64(&x, 1), atomic.LoadUint32(&x), …), every access to
+// that variable must go through sync/atomic.  A plain read or write of
+// an atomically-updated variable is a data race even when it "only
+// reads a counter": the race detector flags it, and on weakly-ordered
+// hardware it reads torn or stale values.  There is no exemption
+// directive — mixed access has no valid justification; either make all
+// accesses atomic or guard the variable with a mutex and drop the
+// atomics.  (The typed atomic.Int64-style wrappers are immune by
+// construction and need no analysis.)  Composite-literal keys are
+// exempt: a value under construction is not yet shared.
+var AtomicGuard = &Analyzer{
+	Name: "atomicguard",
+	Doc: "a variable accessed through sync/atomic anywhere must be " +
+		"accessed through sync/atomic everywhere; plain reads and writes " +
+		"of it race",
+	Run: runAtomicGuard,
+}
+
+// span is a half-open source range [start, end).
+type span struct{ start, end token.Pos }
+
+func runAtomicGuard(pass *Pass) error {
+	// Pass 1: every object whose address is taken as the first argument
+	// of a sync/atomic function call, plus the source spans of all such
+	// calls (accesses inside them are the atomic accesses themselves).
+	atomicObjs := make(map[types.Object]bool)
+	var atomicSpans []span
+	for _, f := range pass.Files {
+		if pass.inTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass, call) {
+				return true
+			}
+			atomicSpans = append(atomicSpans, span{call.Pos(), call.End()})
+			if len(call.Args) == 0 {
+				return true
+			}
+			addr, ok := call.Args[0].(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			if obj := addressedObject(pass, addr.X); obj != nil {
+				atomicObjs[obj] = true
+			}
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return nil
+	}
+
+	// Pass 2: flag every plain use of those objects.  Uses maps both
+	// bare identifiers and the Sel of field selections to the same
+	// object, so one identifier walk covers locals, package vars, and
+	// struct fields.
+	for _, f := range pass.Files {
+		if pass.inTestFile(f.Pos()) {
+			continue
+		}
+		literalKeys := compositeLitKeys(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || literalKeys[id] {
+				return true
+			}
+			obj := pass.Info.Uses[id]
+			if obj == nil || !atomicObjs[obj] {
+				return true
+			}
+			for _, s := range atomicSpans {
+				if id.Pos() >= s.start && id.Pos() < s.end {
+					return true
+				}
+			}
+			pass.Reportf(id.Pos(), "%s is accessed through sync/atomic elsewhere; this plain access races with it — "+
+				"use the atomic API here too, or guard every access with one mutex and drop the atomics", id.Name)
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicCall reports whether call invokes a function of sync/atomic.
+func isAtomicCall(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	// Only package-level functions (AddInt64, LoadPointer, …): methods
+	// of the typed wrappers never mix with plain access by construction.
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return false
+	}
+	return fn.Pkg().Path() == "sync/atomic"
+}
+
+// addressedObject resolves &expr's operand to the object it denotes: a
+// plain identifier (local or package var) or the field of a selector.
+func addressedObject(pass *Pass, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return addressedObject(pass, e.X)
+	case *ast.Ident:
+		return pass.Info.Uses[e]
+	case *ast.SelectorExpr:
+		if s := pass.Info.Selections[e]; s != nil && s.Kind() == types.FieldVal {
+			return s.Obj()
+		}
+	}
+	return nil
+}
+
+// compositeLitKeys collects the identifiers used as keys of composite
+// literals (`stats{hits: 1}`): these denote the field object in
+// Info.Uses but are initialization, not shared access.
+func compositeLitKeys(f *ast.File) map[*ast.Ident]bool {
+	keys := make(map[*ast.Ident]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		cl, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		for _, el := range cl.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				if id, ok := kv.Key.(*ast.Ident); ok {
+					keys[id] = true
+				}
+			}
+		}
+		return true
+	})
+	return keys
+}

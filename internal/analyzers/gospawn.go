@@ -1,0 +1,171 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GoSpawn enforces goroutine ownership in library code: every `go`
+// statement must have a join the reader can see in the same function —
+// a sync.WaitGroup the goroutine Done()s and the function Wait()s, or
+// a channel the goroutine sends on and the function receives from (the
+// errc idiom) — or carry `//mtlint:goroutine <why>` on the line above
+// naming its owner.  An unowned goroutine is how leaks, races on
+// shutdown, and work-past-cancellation ship: the leakcheck TestMain
+// harness catches them at run time, this pass at review time.
+var GoSpawn = &Analyzer{
+	Name: "gospawn",
+	Doc: "every go statement in library code needs a visible join " +
+		"(WaitGroup Done/Wait or channel send/receive in the same " +
+		"function) or a //mtlint:goroutine <why> ownership note on the " +
+		"line above",
+	Run: runGoSpawn,
+}
+
+func runGoSpawn(pass *Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.inTestFile(f.Pos()) {
+			continue
+		}
+		directives := goroutineDirectiveLines(pass, f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				line := pass.Fset.Position(g.Pos()).Line
+				if reason, ok := directives[line-1]; ok {
+					if reason == "" {
+						pass.Reportf(g.Pos(), "//mtlint:goroutine needs a reason naming the goroutine's owner and join point")
+					}
+					return true
+				}
+				if goStmtJoined(pass, fd, g) {
+					return true
+				}
+				pass.Reportf(g.Pos(), "goroutine has no visible join in this function; "+
+					"join it (WaitGroup Done/Wait, or send on a channel this function receives from) "+
+					"or annotate //mtlint:goroutine <why> on the line above, naming its owner")
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// goroutineDirectiveLines maps line numbers carrying a goroutine
+// directive to its reason.
+func goroutineDirectiveLines(pass *Pass, f *ast.File) map[int]string {
+	out := make(map[int]string)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if rest, ok := strings.CutPrefix(c.Text, directivePrefix+"goroutine"); ok {
+				if rest == "" || rest[0] == ' ' || rest[0] == '\t' {
+					out[pass.Fset.Position(c.Pos()).Line] = strings.TrimSpace(rest)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// goStmtJoined recognizes the two visible-join shapes for a goroutine
+// running a function literal:
+//
+//   - WaitGroup: the literal calls wg.Done() (usually deferred) and the
+//     enclosing function calls wg.Wait() on the same variable;
+//   - channel: the literal sends on a channel the enclosing function
+//     receives from (<-errc, range errc, or a select case).
+//
+// `go someMethod()` has no inspectable body and always needs the
+// directive.
+func goStmtJoined(pass *Pass, fd *ast.FuncDecl, g *ast.GoStmt) bool {
+	lit, ok := g.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	// Objects the goroutine body calls Done() on.
+	doneOn := make(map[types.Object]bool)
+	// Channels the goroutine body sends on (or closes: closing a done
+	// channel is a completion signal too).
+	sendsOn := make(map[types.Object]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+				if obj := identObject(pass, sel.X); obj != nil && isWaitGroup(obj.Type()) {
+					doneOn[obj] = true
+				}
+			}
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "close" && len(n.Args) == 1 {
+				if obj := identObject(pass, n.Args[0]); obj != nil {
+					sendsOn[obj] = true
+				}
+			}
+		case *ast.SendStmt:
+			if obj := identObject(pass, n.Chan); obj != nil {
+				sendsOn[obj] = true
+			}
+		}
+		return true
+	})
+	if len(doneOn) == 0 && len(sendsOn) == 0 {
+		return false
+	}
+
+	// Does the enclosing function join on any of them?
+	joined := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if joined {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				if obj := identObject(pass, sel.X); obj != nil && doneOn[obj] {
+					joined = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if obj := identObject(pass, n.X); obj != nil && sendsOn[obj] {
+					joined = true
+				}
+			}
+		case *ast.RangeStmt:
+			if obj := identObject(pass, n.X); obj != nil && sendsOn[obj] {
+				joined = true
+			}
+		}
+		return true
+	})
+	return joined
+}
+
+// identObject resolves a plain identifier expression to its object.
+func identObject(pass *Pass, e ast.Expr) types.Object {
+	if p, ok := e.(*ast.ParenExpr); ok {
+		return identObject(pass, p.X)
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return pass.Info.Uses[id]
+}
+
+// isWaitGroup reports whether t is sync.WaitGroup (or a pointer to it).
+func isWaitGroup(t types.Type) bool {
+	n := namedOrPointee(t)
+	return n != nil && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "sync" && n.Obj().Name() == "WaitGroup"
+}

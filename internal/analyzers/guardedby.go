@@ -1,0 +1,357 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// GuardedBy enforces lock discipline on every mutex-bearing struct:
+// each non-mutex field must declare its synchronization story — either
+// `//mtlint:guardedby <mu>`, naming the sync.Mutex/RWMutex field that
+// protects it, or `//mtlint:unguarded <why>`, justifying why no lock is
+// needed (immutable after construction, internally synchronized, …).
+// A field declared guardedby may then only be accessed between a
+// syntactic Lock/Unlock (or RLock/RUnlock, including the defer form) on
+// the same receiver's mutex, or inside a function annotated
+// `//mtlint:locked <mu>` that documents its lock-held precondition.
+// Composite-literal construction is exempt: a value not yet shared
+// needs no lock.
+var GuardedBy = &Analyzer{
+	Name: "guardedby",
+	Doc: "every field of a sync.Mutex/RWMutex-bearing struct must carry " +
+		"//mtlint:guardedby <mu> or //mtlint:unguarded <why>, and guarded " +
+		"fields may only be accessed under a syntactic Lock/Unlock span on " +
+		"the same receiver or in a //mtlint:locked <mu> function",
+	Run: runGuardedBy,
+}
+
+// guardInfo records one guardedby-annotated field: the struct it
+// belongs to, the mutex field that guards it, and whether that mutex is
+// embedded (so promoted Lock/Unlock calls on the struct value itself
+// also guard it).
+type guardInfo struct {
+	structName string
+	mu         string
+	muEmbedded bool
+}
+
+// lockEvent is one Lock/Unlock-family call in a function body, in
+// source order.  expr is the rendered receiver the method was called on
+// (`c.mu` for c.mu.Lock(), `policyRegistry` for a promoted call on an
+// embedded mutex).
+type lockEvent struct {
+	pos      token.Pos
+	expr     string
+	acquire  bool
+	deferred bool
+}
+
+func runGuardedBy(pass *Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+
+	guarded := make(map[*types.Var]guardInfo)
+	for _, f := range pass.Files {
+		if pass.inTestFile(f.Pos()) {
+			continue
+		}
+		for _, ns := range namedStructTypes(f) {
+			auditStruct(pass, ns.st, ns.name, guarded)
+		}
+	}
+
+	for _, f := range pass.Files {
+		if pass.inTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkGuardedAccesses(pass, fd, guarded)
+		}
+	}
+	return nil
+}
+
+// namedStruct pairs a struct type literal with the name it is audited
+// under.
+type namedStruct struct {
+	st   *ast.StructType
+	name string
+}
+
+// namedStructTypes collects the struct type literals the pass audits,
+// each with a display name: named type declarations, and vars of
+// anonymous struct type (the registry idiom
+// `var r = struct{ sync.RWMutex; ... }{...}`).  Struct literals nested
+// inside other types are reached through their own declarations.
+func namedStructTypes(f *ast.File) []namedStruct {
+	var out []namedStruct
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.TypeSpec:
+			if st, ok := n.Type.(*ast.StructType); ok {
+				out = append(out, namedStruct{st, n.Name.Name})
+			}
+		case *ast.ValueSpec:
+			if st, ok := n.Type.(*ast.StructType); ok && len(n.Names) > 0 {
+				out = append(out, namedStruct{st, n.Names[0].Name})
+			}
+			for i, v := range n.Values {
+				cl, ok := v.(*ast.CompositeLit)
+				if !ok {
+					continue
+				}
+				if st, ok := cl.Type.(*ast.StructType); ok && i < len(n.Names) {
+					out = append(out, namedStruct{st, n.Names[i].Name})
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// syncMutexName reports the sync package mutex type of t ("Mutex" or
+// "RWMutex"), unwrapping one pointer level, or "" for any other type.
+func syncMutexName(t types.Type) string {
+	n := namedOrPointee(t)
+	if n == nil || n.Obj().Pkg() == nil || n.Obj().Pkg().Path() != "sync" {
+		return ""
+	}
+	switch n.Obj().Name() {
+	case "Mutex", "RWMutex":
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// structFieldDecls returns one *ast.Field per declared field of st, in
+// types.Struct field order (a Field with n names yields n entries).
+func structFieldDecls(st *ast.StructType) []*ast.Field {
+	var out []*ast.Field
+	for _, f := range st.Fields.List {
+		n := len(f.Names)
+		if n == 0 {
+			n = 1 // embedded field
+		}
+		for i := 0; i < n; i++ {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// auditStruct checks one struct's field annotations and records its
+// guarded fields in guarded.
+func auditStruct(pass *Pass, st *ast.StructType, name string, guarded map[*types.Var]guardInfo) {
+	tv, ok := pass.Info.Types[st]
+	if !ok {
+		return
+	}
+	str, ok := tv.Type.(*types.Struct)
+	if !ok {
+		return
+	}
+	decls := structFieldDecls(st)
+	if len(decls) != str.NumFields() {
+		return
+	}
+
+	// Find the struct's mutex fields; embedded mutexes promote their
+	// Lock/Unlock methods onto the struct value itself.
+	mutexes := make(map[string]bool)
+	muEmbedded := make(map[string]bool)
+	for i := 0; i < str.NumFields(); i++ {
+		fv := str.Field(i)
+		if mu := syncMutexName(fv.Type()); mu != "" {
+			mutexes[fv.Name()] = true
+			if fv.Embedded() {
+				muEmbedded[fv.Name()] = true
+			}
+		}
+	}
+
+	if len(mutexes) == 0 {
+		// Directives on a lock-free struct claim an audit that never
+		// runs.
+		for _, fld := range st.Fields.List {
+			for _, verb := range []string{"guardedby", "unguarded"} {
+				if _, ok := fieldDirective(fld, verb); ok {
+					pass.Reportf(fld.Pos(), "//mtlint:%s on a field of %s, which has no sync.Mutex/RWMutex field", verb, name)
+				}
+			}
+		}
+		return
+	}
+
+	for i := 0; i < str.NumFields(); i++ {
+		fv := str.Field(i)
+		fld := decls[i]
+		if syncMutexName(fv.Type()) != "" {
+			continue // the mutex itself needs no annotation
+		}
+		if mu, ok := fieldDirective(fld, "guardedby"); ok {
+			if !mutexes[mu] {
+				pass.Reportf(fv.Pos(), "%s.%s: //mtlint:guardedby %q names no sync.Mutex/RWMutex field of %s", name, fv.Name(), mu, name)
+				continue
+			}
+			guarded[fv] = guardInfo{structName: name, mu: mu, muEmbedded: muEmbedded[mu]}
+			continue
+		}
+		if why, ok := fieldDirective(fld, "unguarded"); ok {
+			if why == "" {
+				pass.Reportf(fv.Pos(), "%s.%s: //mtlint:unguarded needs a justification (immutable after construction, internally synchronized, …)", name, fv.Name())
+			}
+			continue
+		}
+		pass.Reportf(fv.Pos(), "%s.%s is a field of a mutex-bearing struct with no synchronization story; "+
+			"annotate //mtlint:guardedby <mu> or //mtlint:unguarded <why>", name, fv.Name())
+	}
+}
+
+// checkGuardedAccesses verifies that every read or write of a guarded
+// field inside fd happens under its mutex.
+func checkGuardedAccesses(pass *Pass, fd *ast.FuncDecl, guarded map[*types.Var]guardInfo) {
+	lockedMu, lockedOK := directive(fd.Doc, "locked")
+	if lockedOK && lockedMu == "" {
+		pass.Reportf(fd.Pos(), "//mtlint:locked needs the name of the mutex the caller must hold")
+		// Treat the function as exempt anyway: the directive error is
+		// the actionable finding, not a cascade of access reports.
+		return
+	}
+
+	events := collectLockEvents(pass, fd.Body)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s := pass.Info.Selections[sel]
+		if s == nil || s.Kind() != types.FieldVal {
+			return true
+		}
+		fv, ok := s.Obj().(*types.Var)
+		if !ok {
+			return true
+		}
+		g, ok := guarded[fv]
+		if !ok {
+			return true
+		}
+		if lockedOK && lockedMu == g.mu {
+			return true
+		}
+		recv := lockExprString(sel.X)
+		candidates := map[string]bool{recv + "." + g.mu: true}
+		if g.muEmbedded {
+			candidates[recv] = true // promoted registry.Lock() form
+		}
+		if !lockHeldAt(events, candidates, sel.Pos()) {
+			pass.Reportf(sel.Pos(), "%s.%s is guarded by %q but accessed outside a %s.%s Lock/Unlock span; "+
+				"lock around the access or annotate the function //mtlint:locked %s",
+				g.structName, fv.Name(), g.mu, recv, g.mu, g.mu)
+		}
+		return true
+	})
+}
+
+// collectLockEvents gathers every sync.Mutex/RWMutex Lock/RLock/Unlock/
+// RUnlock call in body, in source order, with deferred unlocks marked
+// (a deferred unlock holds the lock to the end of the function).
+func collectLockEvents(pass *Pass, body *ast.BlockStmt) []lockEvent {
+	deferred := make(map[*ast.CallExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			deferred[d.Call] = true
+		}
+		return true
+	})
+
+	var events []lockEvent
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		var acquire bool
+		switch sel.Sel.Name {
+		case "Lock", "RLock":
+			acquire = true
+		case "Unlock", "RUnlock":
+			acquire = false
+		default:
+			return true
+		}
+		s := pass.Info.Selections[sel]
+		if s == nil {
+			return true
+		}
+		fn, ok := s.Obj().(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+			return true
+		}
+		events = append(events, lockEvent{
+			pos:      call.Pos(),
+			expr:     lockExprString(sel.X),
+			acquire:  acquire,
+			deferred: deferred[call],
+		})
+		return true
+	})
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	return events
+}
+
+// lockHeldAt replays the lock events textually preceding pos and
+// reports whether one of the candidate mutexes is held there.  A
+// deferred unlock does not release (it runs at function exit), so
+// `mu.Lock(); defer mu.Unlock()` guards everything after the Lock.
+func lockHeldAt(events []lockEvent, candidates map[string]bool, pos token.Pos) bool {
+	held := false
+	for _, e := range events {
+		if e.pos >= pos {
+			break
+		}
+		if !candidates[e.expr] {
+			continue
+		}
+		if e.acquire {
+			held = true
+		} else if !e.deferred {
+			held = false
+		}
+	}
+	return held
+}
+
+// lockExprString renders the receiver expression of a lock call or
+// field access for syntactic matching: `c.mu.Lock()` guards fields
+// accessed through `c`.  Expressions the renderer cannot name (index
+// expressions, calls, …) get a position-unique string so they never
+// match — conservative in the direction of reporting.
+func lockExprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return lockExprString(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return lockExprString(e.X)
+	case *ast.StarExpr:
+		return "*" + lockExprString(e.X)
+	default:
+		return fmt.Sprintf("?%d", e.Pos())
+	}
+}

@@ -2,13 +2,17 @@ package analyzers
 
 // All returns the full mtlint suite in the order diagnostics group best
 // for a human reading the output: key integrity first, then runtime
-// invariants, then surface hygiene.
+// invariants, then concurrency contracts, then surface hygiene.
 func All() []*Analyzer {
 	return []*Analyzer{
 		CacheKey,
 		Determinism,
 		FFwd,
 		Registry,
+		GuardedBy,
+		AtomicGuard,
+		CtxFlow,
+		GoSpawn,
 		ExportedDoc,
 	}
 }

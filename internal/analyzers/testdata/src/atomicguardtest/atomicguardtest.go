@@ -1,0 +1,46 @@
+// Package atomicguardtest is the atomicguard analyzer's fixture: mixed
+// atomic/plain access to struct fields and package variables.
+package atomicguardtest
+
+import "sync/atomic"
+
+// stats mixes an atomically-maintained counter with a plain one.
+type stats struct {
+	hits  int64
+	total int64
+}
+
+func (s *stats) bump() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+func (s *stats) hitCount() int64 {
+	return atomic.LoadInt64(&s.hits)
+}
+
+func (s *stats) racyRead() int64 {
+	return s.hits // want `hits is accessed through sync/atomic elsewhere`
+}
+
+func (s *stats) racyWrite() {
+	s.hits = 0 // want `hits is accessed through sync/atomic elsewhere`
+}
+
+func (s *stats) plainOnly() int64 {
+	s.total++ // total is never touched atomically: no finding
+	return s.total
+}
+
+func newStats() *stats {
+	return &stats{hits: 0} // keyed construction is initialization, not sharing
+}
+
+var seq int64
+
+func next() int64 {
+	return atomic.AddInt64(&seq, 1)
+}
+
+func peek() int64 {
+	return seq // want `seq is accessed through sync/atomic elsewhere`
+}

@@ -1,0 +1,51 @@
+// Package gospawntest is the gospawn analyzer's fixture: goroutines
+// with visible joins (WaitGroup, errc, closed done channel), unowned
+// goroutines, and the ownership directive.
+package gospawntest
+
+import "sync"
+
+func joined(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func errcJoined() error {
+	errc := make(chan error, 1)
+	go func() { errc <- nil }()
+	return <-errc
+}
+
+func doneClosed() {
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}
+
+func unowned() {
+	go func() {}() // want `goroutine has no visible join`
+}
+
+func noWait() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done() }() // want `goroutine has no visible join`
+}
+
+func named() {
+	//mtlint:goroutine owned by the process; runs until exit by design
+	go worker()
+}
+
+func bare() {
+	//mtlint:goroutine
+	go worker() // want `//mtlint:goroutine needs a reason`
+}
+
+func worker() {}

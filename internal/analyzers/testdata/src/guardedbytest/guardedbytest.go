@@ -1,0 +1,118 @@
+// Package guardedbytest is the guardedby analyzer's fixture:
+// mutex-bearing structs exercising the annotation rules (guarded,
+// justified-unguarded, missing, bad argument) and the lock-span access
+// check, including the embedded-RWMutex registry idiom.
+package guardedbytest
+
+import "sync"
+
+// counter has one guarded field, one justified unguarded field, and
+// one field with no synchronization story.
+type counter struct {
+	mu  sync.Mutex
+	n   int //mtlint:guardedby mu
+	cap int //mtlint:unguarded fixed at construction, read-only afterwards
+	bad int // want `counter\.bad is a field of a mutex-bearing struct`
+}
+
+func newCounter(capacity int) *counter {
+	return &counter{cap: capacity} // keyed construction needs no lock
+}
+
+func (c *counter) inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) read() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n + c.cap
+}
+
+func (c *counter) racy() int {
+	return c.n // want `counter\.n is guarded by "mu" but accessed outside`
+}
+
+func (c *counter) reacquire() {
+	c.mu.Lock()
+	c.n = 1
+	c.mu.Unlock()
+	c.n = 2 // want `counter\.n is guarded by "mu" but accessed outside`
+	c.mu.Lock()
+	c.n = 3
+	c.mu.Unlock()
+}
+
+// lockedHelper documents its lock-held precondition; callers lock.
+//
+//mtlint:locked mu
+func (c *counter) lockedHelper() int { return c.n }
+
+//mtlint:locked
+func (c *counter) lockedBare() int { return c.n } // want `//mtlint:locked needs the name of the mutex`
+
+// table guards its map with an embedded RWMutex, so the promoted
+// t.Lock()/t.RLock() forms guard the fields too.
+type table struct {
+	sync.RWMutex
+	m map[string]int //mtlint:guardedby RWMutex
+}
+
+func (t *table) set(k string, v int) {
+	t.Lock()
+	defer t.Unlock()
+	t.m[k] = v
+}
+
+func (t *table) get(k string) int {
+	t.RLock()
+	v := t.m[k]
+	t.RUnlock()
+	return v
+}
+
+func (t *table) leak() map[string]int {
+	return t.m // want `table\.m is guarded by "RWMutex" but accessed outside`
+}
+
+// registry is the anonymous-struct package-var idiom.
+var registry = struct {
+	sync.RWMutex
+	m map[string]int //mtlint:guardedby RWMutex
+}{m: make(map[string]int)}
+
+func register(k string) {
+	registry.Lock()
+	defer registry.Unlock()
+	registry.m[k] = 1
+}
+
+func lookup(k string) int {
+	return registry.m[k] // want `registry\.m is guarded by "RWMutex" but accessed outside`
+}
+
+// plain has no mutex, so its directive claims an audit that never
+// runs.
+type plain struct {
+	//mtlint:guardedby mu
+	x int // want `//mtlint:guardedby on a field of plain`
+}
+
+// wrongMu exercises the bad-argument diagnostics.
+type wrongMu struct {
+	mu sync.Mutex
+	//mtlint:guardedby other
+	v int // want `wrongMu\.v: //mtlint:guardedby "other" names no sync\.Mutex/RWMutex field`
+	//mtlint:unguarded
+	w int // want `wrongMu\.w: //mtlint:unguarded needs a justification`
+}
+
+func (w *wrongMu) use() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.v + w.w
+}
+
+var _ = plain{}

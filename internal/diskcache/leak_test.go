@@ -1,0 +1,11 @@
+package diskcache
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMain fails the package if a test leaks a goroutine: the store is
+// purely synchronous, so any goroutine here is a regression.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -1,0 +1,87 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMain dogfoods the checker on its own package.
+func TestMain(m *testing.M) { Main(m) }
+
+// TestLeakedDifferential is the differential pair in one test: a
+// goroutine blocked on a channel is reported as leaked, and the same
+// goroutine after its join is not.
+func TestLeakedDifferential(t *testing.T) {
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		<-release
+		close(done)
+	}()
+
+	leaked := Leaked(0)
+	if !containsFrame(leaked, "TestLeakedDifferential") {
+		t.Errorf("blocked goroutine not reported; leaked = %d goroutines", len(leaked))
+	}
+
+	close(release)
+	<-done
+	if after := Leaked(2 * time.Second); containsFrame(after, "TestLeakedDifferential") {
+		t.Errorf("joined goroutine still reported as leaked:\n%s", stacks(after))
+	}
+}
+
+// TestSnapshotSelf pins the parser against a live dump: the snapshot
+// contains this very goroutine, in a parseable state, with the test
+// frame in its stack.
+func TestSnapshotSelf(t *testing.T) {
+	snap := Snapshot()
+	if len(snap) == 0 {
+		t.Fatal("empty snapshot")
+	}
+	found := false
+	for _, g := range snap {
+		if g.ID == "" || g.State == "" || g.Stack == "" {
+			t.Errorf("incomplete goroutine record: %+v", g)
+		}
+		if strings.Contains(g.Stack, "TestSnapshotSelf") {
+			found = true
+			if !benign(g) {
+				t.Errorf("the snapshotting goroutine must be benign (it holds leakcheck.Snapshot):\n%s", g.Stack)
+			}
+		}
+	}
+	if !found {
+		t.Error("snapshot does not contain the calling goroutine")
+	}
+}
+
+// TestParseGoroutine pins the header grammar.
+func TestParseGoroutine(t *testing.T) {
+	g, ok := parseGoroutine("goroutine 42 [chan receive, 3 minutes]:\nmain.worker()\n\t/src/main.go:10 +0x2a")
+	if !ok || g.ID != "42" || g.State != "chan receive, 3 minutes" {
+		t.Errorf("parseGoroutine = %+v, %v", g, ok)
+	}
+	if _, ok := parseGoroutine("garbage"); ok {
+		t.Error("parseGoroutine accepted a non-goroutine block")
+	}
+}
+
+func containsFrame(gs []Goroutine, frame string) bool {
+	for _, g := range gs {
+		if strings.Contains(g.Stack, frame) {
+			return true
+		}
+	}
+	return false
+}
+
+func stacks(gs []Goroutine) string {
+	var b strings.Builder
+	for _, g := range gs {
+		b.WriteString(g.Stack)
+		b.WriteString("\n\n")
+	}
+	return b.String()
+}

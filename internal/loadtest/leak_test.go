@@ -1,0 +1,11 @@
+package loadtest
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMain fails the package if a test leaks a goroutine: Run owns its
+// closed-loop clients and must join all of them at the deadline.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -307,6 +307,8 @@ func spinLoad(id int) workload.Load {
 }
 
 // Run executes the job under the placement and configuration.
+//
+//mtlint:ctx-root ctx-less convenience wrapper; RunCtx is the cancellable form
 func Run(job *Job, pl Placement, cfg Config) (*Result, error) {
 	return RunCtx(context.Background(), job, pl, cfg)
 }

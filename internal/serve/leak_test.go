@@ -1,0 +1,12 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMain fails the package if a test leaks a goroutine: handlers
+// must not outlive their request, and every httptest server must be
+// closed.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -1,0 +1,12 @@
+package sweep
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMain fails the package if a test leaks a goroutine: ForEachCtx
+// owns its worker pool and must join every worker before returning,
+// cancelled or not.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

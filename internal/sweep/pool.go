@@ -61,6 +61,8 @@ func PoolSize(n, workers int) int {
 // per-index state (e.g. out[i]) for the result to be deterministic.
 // A panic in any fn is re-raised on the caller's goroutine after all
 // workers have drained.
+//
+//mtlint:ctx-root ctx-less convenience wrapper; ForEachCtx is the cancellable form
 func ForEach(n, workers int, fn func(i int)) {
 	ForEachCtx(context.Background(), n, workers, fn)
 }

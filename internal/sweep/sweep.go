@@ -88,6 +88,8 @@ func (r *Result) Best() (RunResult, error) {
 // simulator is pure, so runs fan out across the worker pool and land in
 // a pre-allocated slot; aggregation then scores and sorts with a total
 // order.  The result is deterministic and independent of Options.Workers.
+//
+//mtlint:ctx-root ctx-less convenience wrapper; SweepCtx is the cancellable form
 func Sweep(job *mpisim.Job, points []Point, opt Options) (*Result, error) {
 	return SweepCtx(context.Background(), job, points, opt)
 }

@@ -1,0 +1,12 @@
+package smtbalance
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMain fails the package if a test leaks a goroutine: sweeps,
+// sessions, and the cache's singleflight all spawn workers that must
+// join before their call returns.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -533,11 +533,11 @@ func (m *Machine) NewScenarioSession(sc Scenario) (*Session, error) {
 // A Session is safe for concurrent use, though the "last result" is then
 // whichever run finished most recently.
 type Session struct {
-	m   *Machine
-	job Job
+	m   *Machine //mtlint:unguarded set at construction, read-only afterwards
+	job Job      //mtlint:unguarded set at construction, read-only afterwards
 
 	mu   sync.Mutex
-	last *Result
+	last *Result //mtlint:guardedby mu
 }
 
 // NewSession opens a session for the job on this machine.

@@ -113,17 +113,19 @@ func csvQuote(s string) string {
 // bound.  Eviction only costs a re-evaluation, never correctness.
 type Matrix struct {
 	mu        sync.Mutex
-	machines  map[Topology]*Machine
-	machOrder []Topology
-	cells     map[cacheKey][]MatrixEntry
-	cellOrder []cacheKey
-	hits      int64
-	misses    int64
+	machines  map[Topology]*Machine      //mtlint:guardedby mu
+	machOrder []Topology                 //mtlint:guardedby mu
+	cells     map[cacheKey][]MatrixEntry //mtlint:guardedby mu
+	cellOrder []cacheKey                 //mtlint:guardedby mu
+	hits      int64                      //mtlint:guardedby mu
+	misses    int64                      //mtlint:guardedby mu
 
 	// flights coalesces identical in-flight cells: two concurrent
 	// requests for the same (topology, scenario, policies) cell share
 	// one evaluation (the underlying per-point runs coalesce through
 	// the Machine cache's own singleflight as well).
+	//
+	//mtlint:unguarded flightGroup synchronizes itself; leaders publish outside mx.mu
 	flights flightGroup[[]MatrixEntry]
 }
 

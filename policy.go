@@ -102,7 +102,7 @@ type PolicyFactory func(params map[string]string) (Policy, error)
 
 var policyRegistry = struct {
 	sync.RWMutex
-	m map[string]PolicyFactory
+	m map[string]PolicyFactory //mtlint:guardedby RWMutex
 }{m: make(map[string]PolicyFactory)}
 
 // RegisterPolicy adds a policy factory under the given name, making it

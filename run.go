@@ -332,6 +332,8 @@ func (opts *Options) simConfig() mpisim.Config {
 // callers who hold their own), a transient one otherwise.  New code
 // should build a Machine once with NewMachine and call Machine.Run,
 // which adds context cancellation and result caching.
+//
+//mtlint:ctx-root deprecated ctx-less wrapper; Machine.Run is the cancellable form
 func Run(job Job, pl Placement, opts *Options) (*Result, error) {
 	m, err := machineFor(opts)
 	if err != nil {

@@ -54,7 +54,7 @@ type ScenarioFactory func(params map[string]string) (Scenario, error)
 
 var scenarioRegistry = struct {
 	sync.RWMutex
-	m map[string]ScenarioFactory
+	m map[string]ScenarioFactory //mtlint:guardedby RWMutex
 }{m: make(map[string]ScenarioFactory)}
 
 // RegisterScenario adds a scenario factory under the given name, making

@@ -209,6 +209,8 @@ func (r *SweepResult) WriteCSV(w io.Writer) error {
 // opts.Run; new code should build the Machine once with NewMachine and
 // use Machine.Sweep (a cancellable streaming iterator with progress
 // reporting) or Machine.SweepAll.
+//
+//mtlint:ctx-root deprecated ctx-less wrapper; Machine.Sweep/SweepAll are the cancellable forms
 func Sweep(job Job, space Space, opts *SweepOptions) (*SweepResult, error) {
 	if opts == nil {
 		opts = &SweepOptions{}
@@ -236,6 +238,8 @@ func Sweep(job Job, space Space, opts *SweepOptions) (*SweepResult, error) {
 // Deprecated: new code should build a Machine with NewMachine and call
 // Machine.Optimize, which is cancellable and threads the machine's
 // environment through both the sweep and the winner's re-run.
+//
+//mtlint:ctx-root deprecated ctx-less wrapper; Machine.Optimize is the cancellable form
 func OptimizePlacement(job Job, objective Objective, opts ...*SweepOptions) (Placement, *Result, error) {
 	if len(opts) > 1 {
 		return Placement{}, nil, fmt.Errorf("smtbalance: OptimizePlacement takes at most one SweepOptions, got %d", len(opts))
