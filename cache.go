@@ -85,6 +85,14 @@ func (h *hasher) str(s string) {
 // reaches the simulated machine, so two jobs differing only in name
 // share cache entries.
 //
+// SweepOptions (Workers, Top, Objective, Screen, Progress) is likewise
+// outside the key on purpose: none of its fields change what any single
+// run computes.  Screen in particular only *selects* which placement
+// points are simulated — every run a screened sweep does execute goes
+// through this same key, so screened and exhaustive sweeps share cache
+// entries point for point (the screened-vs-exhaustive differential
+// tests depend on exactly that).
+//
 //mtlint:cachekey-hasher run
 func envJobKey(topo Topology, opts Options, pol Policy, job Job) [sha256.Size]byte {
 	var h hasher

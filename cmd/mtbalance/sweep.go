@@ -38,6 +38,7 @@ func runSweep(args []string) int {
 	var (
 		workers   = fs.Int("workers", 0, "concurrent simulator runs (0 = one per CPU, 1 = serial)")
 		top       = fs.Int("top", 10, "keep the best K configurations (0 = all)")
+		screen    = fs.Int("screen", 0, "two-level search: simulate only the K best-predicted configurations plus a guard band (0 = exhaustive)")
 		objective = fs.String("objective", "cycles", "ranking objective: cycles, imbalance, or weighted:<cw>,<iw>")
 		space     = fs.String("space", "user", "priority alphabet: user (2-4), os (2-6), or medium (launch everything at 4 and let policies move)")
 		policies  = fs.String("policy", "", "';'-separated balancing policies to rank, e.g. 'static;dyn,maxdiff=2;hier;feedback'")
@@ -116,7 +117,7 @@ func runSweep(args []string) int {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
-	swOpts := &smtbalance.SweepOptions{Workers: *workers, Top: *top, Objective: obj}
+	swOpts := &smtbalance.SweepOptions{Workers: *workers, Top: *top, Screen: *screen, Objective: obj}
 	if *progress {
 		swOpts.Progress = func(evaluated, total int) {
 			if evaluated%50 == 0 || evaluated == total {
@@ -144,6 +145,10 @@ func runSweep(args []string) int {
 	} else {
 		title := fmt.Sprintf("Sweep — %d configurations, objective %s, %d workers",
 			res.Evaluated, *objective, res.Workers)
+		if res.Screened > 0 {
+			title = fmt.Sprintf("Sweep — %d of %d configurations (%d screened out), objective %s, %d workers",
+				res.Evaluated, res.Evaluated+res.Screened, res.Screened, *objective, res.Workers)
+		}
 		withPolicy := len(sp.Policies) > 0
 		cols := []string{"Rank", "CPUs", "Prios", "Cycles", "Exec", "Imb%", "Score"}
 		if withPolicy {

@@ -1,0 +1,158 @@
+package core
+
+import "repro/internal/hwpri"
+
+// This file is the coarse level of the two-level sweep search: an
+// analytical per-configuration cost predictor.  Given a concrete
+// placement (CPU map + priorities) and each rank's summarized program,
+// it predicts the cycles-to-barrier in O(ranks + exchange legs) from the
+// decode-share model of Section V-A plus the machine's communication
+// tiers — no simulation.  The sweep screening layer ranks every
+// configuration of a space with it and hands only the predicted
+// frontier to the simulator (internal/sweep.Screen).
+//
+// The prediction is deliberately simple: per-iteration effects the
+// simulator resolves exactly (cache warm-up, OS noise, spin decode
+// stealing after a rank finishes, exchange post/wait interleaving) are
+// ignored.  What it does capture — decode supply under a priority
+// difference, demand saturation, and the same-core / same-chip /
+// cross-chip exchange tiers — is what separates good configurations
+// from bad ones, which is all a screening model has to do.
+
+// RankLoad summarizes one rank's program for the predictor: the total
+// compute work and the exchange traffic, with barriers implied by the
+// makespan aggregation (the application finishes when its slowest rank
+// does).
+type RankLoad struct {
+	// Compute is the rank's total compute work in instructions (any
+	// consistent unit works for ranking, but instructions make the
+	// compute term directly comparable to the comm term's cycles once
+	// divided by the model's predicted IPC).
+	Compute float64
+	// Classes optionally splits Compute by decode demand: each class is
+	// work that cannot execute faster than its own IPC ceiling whatever
+	// decode share it is granted (a latency-bound kernel gains nothing
+	// from a favored sibling).  When non-empty, the predictor prices the
+	// classes instead of Compute; when empty, all of Compute runs at the
+	// model's default demand.
+	Classes []ComputeClass
+	// Exchanges lists the rank's exchange phases in program order.
+	Exchanges []ExchangeLoad
+}
+
+// ComputeClass is a slice of a rank's compute with a common demand
+// ceiling, e.g. the memory-bound fraction of a program.
+type ComputeClass struct {
+	// Work is the class's instruction count.
+	Work float64
+	// Demand caps the class's IPC regardless of decode share; 0 or
+	// anything above the model's demand means decode-elastic work that
+	// saturates at the model's default.
+	Demand float64
+}
+
+// ExchangeLoad is one exchange phase: Bytes moved to/from each of Peers.
+type ExchangeLoad struct {
+	// Bytes is the per-peer transfer size.
+	Bytes int64
+	// Peers are the partner ranks.
+	Peers []int
+}
+
+// CommFn prices one exchange leg between two logical CPUs, mirroring
+// mpisim.Config.CommLatency (e.g. mpisim.TopologyCommLatency).
+type CommFn func(cpuA, cpuB int, bytes int64) int64
+
+// decodeShare returns the decode-cycle fraction a context receives when
+// its priority differs from its sibling's by d (Table II): the decode
+// time is sliced into R = 2^(|d|+1) cycles, R-1 for the favored context
+// and 1 for the penalized one.  Differences beyond 4 are clamped — the
+// sweepable priorities 2..6 never exceed it, and the special rows of
+// Table III (priorities 0, 1 and 7 change the context population) are
+// outside the predictor's domain.
+func decodeShare(d int) (favored, penalized float64) {
+	if d < 0 {
+		d = -d
+	}
+	if d == 0 {
+		return 0.5, 0.5
+	}
+	if d > 4 {
+		d = 4
+	}
+	r := float64(int(1) << (d + 1))
+	return (r - 1) / r, 1 / r
+}
+
+// PredictCycles predicts the configuration's cycles-to-completion: each
+// rank computes at the IPC its decode share supports (a lone rank on a
+// core owns the full decode stage), pays every exchange phase the
+// slowest of its peer legs, and the application finishes with its
+// slowest rank.  cpu and prio index by rank, as in a placement; comm
+// prices exchange legs and may be nil when loads carry no exchanges.
+// The cost is O(ranks + exchange legs) — it never simulates.
+func (m Model) PredictCycles(loads []RankLoad, cpu []int, prio []hwpri.Priority, comm CommFn) float64 {
+	maxCPU := 0
+	for _, c := range cpu {
+		if c > maxCPU {
+			maxCPU = c
+		}
+	}
+	// rankOn[c] is the rank pinned to logical CPU c, -1 when idle; the
+	// +2 keeps the sibling lookup (c^1) in range for an even maxCPU.
+	rankOn := make([]int, maxCPU+2)
+	for i := range rankOn {
+		rankOn[i] = -1
+	}
+	for r, c := range cpu {
+		rankOn[c] = r
+	}
+	var worst float64
+	for r := range loads {
+		share := 1.0 // a lone rank owns the whole decode stage
+		if sib := rankOn[cpu[r]^1]; sib >= 0 {
+			d := int(prio[r]) - int(prio[sib])
+			fav, pen := decodeShare(d)
+			switch {
+			case d > 0:
+				share = fav
+			case d < 0:
+				share = pen
+			default:
+				share = 0.5
+			}
+		}
+		var t float64
+		if len(loads[r].Classes) > 0 {
+			for _, cl := range loads[r].Classes {
+				s := m.speed(share)
+				if cl.Demand > 0 && cl.Demand < s {
+					s = cl.Demand
+				}
+				if s > 0 {
+					t += cl.Work / s
+				}
+			}
+		} else if s := m.speed(share); s > 0 {
+			t = loads[r].Compute / s
+		}
+		if comm != nil {
+			for _, ex := range loads[r].Exchanges {
+				var lat int64
+				for _, p := range ex.Peers {
+					if p < 0 || p >= len(cpu) {
+						continue
+					}
+					if l := comm(cpu[r], cpu[p], ex.Bytes); l > lat {
+						lat = l
+					}
+				}
+				t += float64(lat)
+			}
+		}
+		if t > worst {
+			worst = t
+		}
+	}
+	return worst
+}

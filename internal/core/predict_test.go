@@ -1,0 +1,199 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hwpri"
+)
+
+// tierComm is a test stand-in for mpisim.TopologyCommLatency on a
+// 2-chip, 2-cores-per-chip, 2-way machine: CPUs 0..3 are chip 0.
+func tierComm(cpuA, cpuB int, bytes int64) int64 {
+	base := int64(300)
+	switch {
+	case cpuA/2 == cpuB/2:
+	case cpuA/4 == cpuB/4:
+		base = 800
+	default:
+		base = 2500
+	}
+	return base + bytes/128
+}
+
+func computeOnly(works ...float64) []RankLoad {
+	loads := make([]RankLoad, len(works))
+	for i, w := range works {
+		loads[i] = RankLoad{Compute: w}
+	}
+	return loads
+}
+
+func TestPredictCyclesEqualPriorities(t *testing.T) {
+	m := DefaultModel()
+	loads := computeOnly(10000, 10000)
+	got := m.PredictCycles(loads, []int{0, 1}, []hwpri.Priority{hwpri.Medium, hwpri.Medium}, nil)
+	// Equal priorities halve the decode stage: share 0.5 of width 5 is
+	// 2.5 IPC, under the 8/3 demand, so 10000 instructions take 4000
+	// cycles.
+	want := 10000 / m.speed(0.5)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("PredictCycles = %v, want %v", got, want)
+	}
+}
+
+func TestPredictCyclesFavoredRankSaturates(t *testing.T) {
+	m := DefaultModel()
+	loads := computeOnly(40000, 10000)
+	base := m.PredictCycles(loads, []int{0, 1}, []hwpri.Priority{hwpri.Medium, hwpri.Medium}, nil)
+	boosted := m.PredictCycles(loads, []int{0, 1}, []hwpri.Priority{hwpri.MediumHigh, hwpri.Medium}, nil)
+	if boosted >= base {
+		t.Fatalf("favoring the heavy rank did not help: %v >= %v", boosted, base)
+	}
+	// At difference >= 1 the favored share (>= 3/4 of width 5) already
+	// oversupplies the 8/3 demand, so the heavy rank runs at full speed.
+	want := 40000 / m.Demand
+	if math.Abs(boosted-want) > 1e-9 {
+		t.Fatalf("boosted makespan = %v, want demand-limited %v", boosted, want)
+	}
+}
+
+func TestPredictCyclesPenalizedRankDominates(t *testing.T) {
+	m := DefaultModel()
+	// A huge difference starves the light rank until it is the critical
+	// path: share 1/32 of width 5 is 0.15625 IPC.
+	loads := computeOnly(40000, 10000)
+	got := m.PredictCycles(loads, []int{0, 1}, []hwpri.Priority{hwpri.High, hwpri.Low}, nil)
+	fav, pen := decodeShare(4)
+	tHeavy := 40000 / m.speed(fav)
+	tLight := 10000 / m.speed(pen)
+	want := math.Max(tHeavy, tLight)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("PredictCycles = %v, want %v", got, want)
+	}
+	if want != tLight {
+		t.Fatalf("test premise broken: light rank should dominate (%v vs %v)", tLight, tHeavy)
+	}
+}
+
+func TestPredictCyclesLoneRank(t *testing.T) {
+	m := DefaultModel()
+	got := m.PredictCycles(computeOnly(10000), []int{0}, []hwpri.Priority{hwpri.Medium}, nil)
+	want := 10000 / m.Demand // full decode stage: demand-limited
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("lone rank = %v, want %v", got, want)
+	}
+}
+
+func TestPredictCyclesMonotonicInWork(t *testing.T) {
+	m := DefaultModel()
+	cpu := []int{0, 1}
+	prio := []hwpri.Priority{hwpri.Medium, hwpri.Medium}
+	prev := 0.0
+	for w := 1000.0; w <= 64000; w *= 2 {
+		got := m.PredictCycles(computeOnly(w, 1000), cpu, prio, nil)
+		if got <= prev {
+			t.Fatalf("work %v: predicted %v not > previous %v", w, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestPredictCyclesCommTiers(t *testing.T) {
+	m := DefaultModel()
+	mk := func(peerOf []int) []RankLoad {
+		loads := make([]RankLoad, len(peerOf))
+		for i, p := range peerOf {
+			loads[i] = RankLoad{Compute: 1000, Exchanges: []ExchangeLoad{{Bytes: 1 << 14, Peers: []int{p}}}}
+		}
+		return loads
+	}
+	prio := make([]hwpri.Priority, 4)
+	for i := range prio {
+		prio[i] = hwpri.Medium
+	}
+	loads := mk([]int{1, 0, 3, 2})
+	// Exchange partners sharing a core vs split across chips.
+	sameCore := m.PredictCycles(loads, []int{0, 1, 4, 5}, prio, tierComm)
+	crossChip := m.PredictCycles(loads, []int{0, 4, 1, 5}, prio, tierComm)
+	if sameCore >= crossChip {
+		t.Fatalf("same-core partners (%v) should beat cross-chip partners (%v)", sameCore, crossChip)
+	}
+	if diff := crossChip - sameCore; math.Abs(diff-(2500-300)) > 1e-9 {
+		t.Fatalf("tier delta = %v, want %v", diff, 2500-300)
+	}
+}
+
+func TestPredictCyclesExchangeMaxOverPeers(t *testing.T) {
+	m := DefaultModel()
+	loads := []RankLoad{
+		{Compute: 1000, Exchanges: []ExchangeLoad{{Bytes: 0, Peers: []int{1, 2}}}},
+		{Compute: 1000}, {Compute: 1000}, {Compute: 1000},
+	}
+	prio := []hwpri.Priority{hwpri.Medium, hwpri.Medium, hwpri.Medium, hwpri.Medium}
+	got := m.PredictCycles(loads, []int{0, 1, 4, 5}, prio, tierComm)
+	// Rank 0's exchange has a same-core leg (300) and a cross-chip leg
+	// (2500); the phase costs the slowest leg.
+	want := 1000/m.speed(0.5) + 2500
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("PredictCycles = %v, want %v", got, want)
+	}
+}
+
+func TestPredictCyclesIgnoresOutOfRangePeers(t *testing.T) {
+	m := DefaultModel()
+	loads := []RankLoad{
+		{Compute: 1000, Exchanges: []ExchangeLoad{{Bytes: 4096, Peers: []int{-1, 99}}}},
+		{Compute: 1000},
+	}
+	prio := []hwpri.Priority{hwpri.Medium, hwpri.Medium}
+	got := m.PredictCycles(loads, []int{0, 1}, prio, tierComm)
+	want := 1000 / m.speed(0.5) // bogus peers price nothing
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("PredictCycles = %v, want %v", got, want)
+	}
+}
+
+// TestPredictCyclesDemandClasses: a latency-bound class (demand below
+// what even the penalized decode share supplies) costs the same however
+// the priorities fall, while the elastic class keeps responding to the
+// share — so a favored priority only buys back the elastic fraction.
+func TestPredictCyclesDemandClasses(t *testing.T) {
+	m := DefaultModel()
+	mk := func(elastic, bound float64) []RankLoad {
+		return []RankLoad{
+			{Compute: elastic + bound, Classes: []ComputeClass{
+				{Work: elastic}, {Work: bound, Demand: 0.05},
+			}},
+			{Compute: 1000},
+		}
+	}
+	cpu := []int{0, 1}
+	even := []hwpri.Priority{hwpri.Medium, hwpri.Medium}
+	favored := []hwpri.Priority{hwpri.MediumHigh, hwpri.Medium}
+
+	// Pure latency-bound work: priority does not move the prediction.
+	boundEven := m.PredictCycles(mk(0, 1000), cpu, even, nil)
+	boundFav := m.PredictCycles(mk(0, 1000), cpu, favored, nil)
+	if want := 1000 / 0.05; math.Abs(boundEven-want) > 1e-9 {
+		t.Fatalf("latency-bound class priced at %v, want %v", boundEven, want)
+	}
+	if boundFav != boundEven {
+		t.Fatalf("favoring a latency-bound rank changed its prediction: %v vs %v", boundFav, boundEven)
+	}
+
+	// Mixed work: favoring recovers exactly the elastic term's speedup.
+	mixEven := m.PredictCycles(mk(10000, 100), cpu, even, nil)
+	mixFav := m.PredictCycles(mk(10000, 100), cpu, favored, nil)
+	wantGain := 10000/m.speed(0.5) - 10000/m.speed(0.75)
+	if gain := mixEven - mixFav; math.Abs(gain-wantGain) > 1e-9 {
+		t.Fatalf("favoring recovered %v cycles, want the elastic share's %v", gain, wantGain)
+	}
+
+	// Empty Classes falls back to pricing Compute at the default demand.
+	flat := []RankLoad{{Compute: 1000}, {Compute: 1000}}
+	classed := []RankLoad{{Compute: 1000, Classes: []ComputeClass{{Work: 1000}}}, {Compute: 1000}}
+	if a, b := m.PredictCycles(flat, cpu, even, nil), m.PredictCycles(classed, cpu, even, nil); a != b {
+		t.Fatalf("a single elastic class (%v) diverges from plain Compute (%v)", b, a)
+	}
+}

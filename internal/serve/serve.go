@@ -269,6 +269,11 @@ type SweepRequest struct {
 	Space SweepSpace `json:"space"`
 	// Top caps the number of ranked entries streamed back.
 	Top int `json:"top,omitempty"`
+	// Screen, when positive, enables two-level screening: the analytical
+	// cost model ranks the whole space and only the Screen best-predicted
+	// configurations plus a guard band are simulated (see
+	// smtbalance.SweepOptions.Screen).  0 sweeps exhaustively.
+	Screen int `json:"screen,omitempty"`
 	// Objective weights the ranking score.
 	Objective SweepObjective `json:"objective"`
 }
@@ -318,6 +323,10 @@ type MatrixRequest struct {
 	// Topologies are "chips x cores x smt" strings; empty means the
 	// server machine's topology.
 	Topologies []string `json:"topologies,omitempty"`
+	// Screen is forwarded to every cell's sweep (see
+	// smtbalance.MatrixOptions.Screen); today's single-placement cells
+	// are screening-invariant, so it never changes entries.
+	Screen int `json:"screen,omitempty"`
 }
 
 // MatrixEntryJSON is one evaluation, one NDJSON chunk of the matrix
@@ -741,6 +750,10 @@ func (s *server) sweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "top must be >= 0, got %d", req.Top)
 		return
 	}
+	if req.Screen < 0 {
+		writeError(w, http.StatusBadRequest, "screen must be >= 0, got %d", req.Screen)
+		return
+	}
 	// The zero-valued objective already means "minimize cycles".
 	obj := smtbalance.WeightedObjective(req.Objective.CyclesWeight, req.Objective.ImbalanceWeight)
 
@@ -766,6 +779,7 @@ func (s *server) sweep(w http.ResponseWriter, r *http.Request) {
 	for e, err := range s.m.Sweep(ctx, job, space, &smtbalance.SweepOptions{
 		Workers:   s.cfg.SweepWorkers,
 		Top:       req.Top,
+		Screen:    req.Screen,
 		Objective: obj,
 		Progress:  func(done, total int) { evaluated.Store(int64(done)) },
 	}) {
@@ -898,6 +912,10 @@ func (s *server) matrix(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "scenarios and policies must both be non-empty")
 		return
 	}
+	if req.Screen < 0 {
+		writeError(w, http.StatusBadRequest, "screen must be >= 0, got %d", req.Screen)
+		return
+	}
 	if cells := len(spec.Topologies) * len(spec.Scenarios); cells > s.cfg.MaxMatrixCells {
 		writeError(w, http.StatusBadRequest, "%d topology × scenario cells; this server accepts at most %d", cells, s.cfg.MaxMatrixCells)
 		return
@@ -913,7 +931,7 @@ func (s *server) matrix(w http.ResponseWriter, r *http.Request) {
 	flusher, _ := w.(http.Flusher)
 	var enc *json.Encoder
 	entries := 0
-	for e, err := range s.mx.Eval(ctx, spec, &smtbalance.MatrixOptions{Workers: s.cfg.SweepWorkers}) {
+	for e, err := range s.mx.Eval(ctx, spec, &smtbalance.MatrixOptions{Workers: s.cfg.SweepWorkers, Screen: req.Screen}) {
 		if err != nil {
 			switch {
 			case enc != nil:

@@ -1,0 +1,145 @@
+package sweep
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/mpisim"
+	"repro/internal/power5"
+	"repro/internal/workload"
+)
+
+// This file is the coarse level of the two-level sweep search.  A full
+// placement × priority space is first ranked with the analytical cost
+// predictor (internal/core.Model.PredictCycles) — microseconds per
+// point — and only the predicted frontier reaches the simulator.  The
+// fine level then ranks the shortlist with real runs exactly as an
+// exhaustive sweep would, so a screened ranking is always the exhaustive
+// ranking restricted to the shortlist: screening can drop coverage,
+// never corrupt scores.
+
+// kindDemand caps each kernel family's IPC for the predictor,
+// calibrated against the chip simulator (a lone context running the
+// kernel): decode-elastic kinds (fpu, fxu, l1, mixed) run at the
+// model's default demand and keep a zero entry; latency-bound kinds
+// cannot spend extra decode share, so the predictor must not credit a
+// favored priority with speeding them up.  mem is pinned by memory
+// latency (~0.05 IPC however the decode is split), l2 by the shared-L2
+// refill stream (~0.36), branchy by its mispredict rate (~0.76).
+var kindDemand = map[workload.Kind]float64{
+	workload.L2:      0.36,
+	workload.Mem:     0.05,
+	workload.Branchy: 0.76,
+}
+
+// RankLoads summarizes each rank's program for the cost predictor:
+// compute phases accumulate their instruction counts — split into
+// demand classes by kernel family, so latency-bound work is priced at
+// its own IPC ceiling — exchange phases keep their byte counts and peer
+// lists, and barriers are implied by the predictor's makespan
+// aggregation.  Spin loads are skipped — their instruction budget is
+// meaningless (they run until released).
+func RankLoads(job *mpisim.Job) []core.RankLoad {
+	loads := make([]core.RankLoad, len(job.Ranks))
+	for r, prog := range job.Ranks {
+		elastic := 0.0
+		capped := make(map[float64]float64)
+		for _, ph := range prog {
+			switch ph.Kind {
+			case mpisim.PhaseCompute:
+				if ph.Load.Kind == workload.Spin {
+					continue
+				}
+				loads[r].Compute += float64(ph.Load.N)
+				if d := kindDemand[ph.Load.Kind]; d > 0 {
+					capped[d] += float64(ph.Load.N)
+				} else {
+					elastic += float64(ph.Load.N)
+				}
+			case mpisim.PhaseExchange:
+				loads[r].Exchanges = append(loads[r].Exchanges, core.ExchangeLoad{
+					Bytes: ph.Bytes,
+					Peers: ph.Peers,
+				})
+			}
+		}
+		if len(capped) > 0 {
+			loads[r].Classes = append(loads[r].Classes, core.ComputeClass{Work: elastic})
+			demands := make([]float64, 0, len(capped))
+			for d := range capped {
+				demands = append(demands, d)
+			}
+			sort.Float64s(demands)
+			for _, d := range demands {
+				loads[r].Classes = append(loads[r].Classes, core.ComputeClass{Work: capped[d], Demand: d})
+			}
+		}
+	}
+	return loads
+}
+
+// GuardBand returns the default guard-band size for a space of n
+// points: wide enough (n/6 plus a floor of 16) that the analytical
+// model only has to rank the true winner *near* the frontier, not at
+// its exact position, while still screening out the bulk of the space.
+func GuardBand(n int) int { return n/6 + 16 }
+
+// screenSlack widens the shortlist past the count cutoff to every point
+// predicted within 2% of the cutoff's cost: near the optimum the model
+// produces plateaus of symmetric configurations with (nearly) equal
+// predictions, and an order-only cutoff through such a plateau would
+// make the shortlist depend on prediction noise rather than on the
+// model's actual ranking.
+const screenSlack = 1.02
+
+// Screen ranks the points with the analytical cost predictor and
+// returns the indices of the fine-level shortlist, sorted ascending (so
+// relative enumeration order — and with it the fine level's
+// tie-breaking — is preserved): the keep best-predicted points, a guard
+// band of the guard next ones, and every further point predicted within
+// screenSlack of the cutoff's cost.  A keep <= 0 or a shortlist
+// covering the whole space returns every index — the screened sweep
+// degenerates to the exhaustive one.  The predictor never simulates, so
+// screening costs O(points × ranks).
+func Screen(job *mpisim.Job, points []Point, topo power5.Topology, keep, guard int, m core.Model) []int {
+	n := len(points)
+	all := func() []int {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	if keep <= 0 || keep+guard >= n {
+		return all()
+	}
+	if topo.IsZero() {
+		topo = power5.DefaultTopology()
+	}
+	loads := RankLoads(job)
+	comm := mpisim.TopologyCommLatency(topo)
+	pred := make([]float64, n)
+	for i := range points {
+		pl := points[i].Placement()
+		pred[i] = m.PredictCycles(loads, pl.CPU, pl.Prio, comm)
+	}
+	order := all()
+	sort.Slice(order, func(a, b int) bool {
+		pa, pb := pred[order[a]], pred[order[b]]
+		if pa != pb {
+			return pa < pb
+		}
+		return order[a] < order[b]
+	})
+	cut := keep + guard
+	limit := pred[order[cut-1]] * screenSlack
+	for cut < n && pred[order[cut]] <= limit {
+		cut++
+	}
+	if cut >= n {
+		return all()
+	}
+	short := order[:cut]
+	sort.Ints(short)
+	return short
+}

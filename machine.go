@@ -8,6 +8,7 @@ import (
 	"iter"
 	"sync"
 
+	"repro/internal/core"
 	"repro/internal/diskcache"
 	"repro/internal/hwpri"
 	"repro/internal/mpisim"
@@ -323,6 +324,32 @@ func (m *Machine) sweepAll(ctx context.Context, job Job, space Space, opts *Swee
 		return nil, err
 	}
 
+	// Two-level screening: rank the points with the analytical cost
+	// predictor and keep only the predicted frontier (plus guard band)
+	// for simulation.  The shortlist stays in enumeration order, so the
+	// fine level's tie-breaking matches the exhaustive sweep's, and the
+	// surviving points run through the very same caching RunFn below —
+	// identical cache keys, identical metrics.  With a policy axis the
+	// placement points are screened once (the predictor is policy-blind:
+	// policies act online, on top of whatever placement they are given)
+	// and the shortlist is evaluated under every policy.
+	if opts.Screen < 0 {
+		return nil, fmt.Errorf("smtbalance: SweepOptions.Screen must be >= 0, got %d", opts.Screen)
+	}
+	screened := 0
+	if opts.Screen > 0 {
+		shortlist := sweep.Screen(job.inner(), points, m.opts.Topology.inner(),
+			opts.Screen, sweep.GuardBand(len(points)), core.DefaultModel())
+		if len(shortlist) < len(points) {
+			screened = len(points) - len(shortlist)
+			kept := make([]sweep.Point, len(shortlist))
+			for i, pi := range shortlist {
+				kept[i] = points[pi]
+			}
+			points = kept
+		}
+	}
+
 	// Fan the whole policy × placement × priority cross product through
 	// one worker pool: point i under policy p is combined index
 	// p*len(points)+i, so a small point space still parallelizes across
@@ -405,7 +432,11 @@ func (m *Machine) sweepAll(ctx context.Context, job Job, space Space, opts *Swee
 		return nil, fmt.Errorf("smtbalance: %d of %d sweep configurations failed: %w",
 			res.Failed, res.Evaluated, res.FirstErr)
 	}
-	out := &SweepResult{Evaluated: res.Evaluated, Workers: sweep.PoolSize(res.Evaluated, opts.Workers)}
+	out := &SweepResult{
+		Evaluated: res.Evaluated,
+		Screened:  screened * len(pols),
+		Workers:   sweep.PoolSize(res.Evaluated, opts.Workers),
+	}
 	for _, rr := range res.Ranked {
 		ipl := rr.Point.Placement()
 		pl := Placement{CPU: ipl.CPU}
@@ -490,8 +521,21 @@ func (m *Machine) SweepAll(ctx context.Context, job Job, space Space, opts *Swee
 // behind the paper's Tables IV-VI.  The winner's re-run (for the trace
 // the sweep does not keep) executes under the machine's own options, and
 // is served from the result cache when the configuration was run before.
-func (m *Machine) Optimize(ctx context.Context, job Job, objective Objective) (Placement, *Result, error) {
-	sw, err := m.sweepAll(ctx, job, OSSettableSpace(), &SweepOptions{Top: 1, Objective: objective})
+// An optional single SweepOptions argument tunes the search (Workers,
+// Progress, and Screen for the two-level coarse → fine search); its Top
+// and Objective are overridden, and Run must be nil as in every Machine
+// sweep.
+func (m *Machine) Optimize(ctx context.Context, job Job, objective Objective, opts ...*SweepOptions) (Placement, *Result, error) {
+	if len(opts) > 1 {
+		return Placement{}, nil, fmt.Errorf("smtbalance: Optimize takes at most one SweepOptions, got %d", len(opts))
+	}
+	var so SweepOptions
+	if len(opts) == 1 && opts[0] != nil {
+		so = *opts[0]
+	}
+	so.Top = 1
+	so.Objective = objective
+	sw, err := m.sweepAll(ctx, job, OSSettableSpace(), &so)
 	if err != nil {
 		return Placement{}, nil, err
 	}
@@ -623,9 +667,15 @@ func (s *Session) Balance(ctx context.Context, pol Policy) (*Result, error) {
 
 // SuggestFromLast derives the next placement to try from the last run:
 // each rank's share of time spent computing is the work estimate the
-// paper's authors read off their profiles, and SuggestPlacement turns
-// those estimates into a pairing and priority plan for this machine's
-// topology.  It errors if no run has completed yet.
+// paper's authors read off their profiles, and the topology's placement
+// planner turns those estimates into a pairing and priority plan.  The
+// session knows its job, so the plan is communication-aware
+// (SuggestPlacementForJob): on multi-chip machines tightly coupled
+// ranks are kept off the cross-chip fabric.  The estimates are scaled
+// to observed compute cycles (share × run cycles) — a common factor
+// that leaves the priority plan untouched but makes them comparable to
+// the predictor's communication term.  It errors if no run has
+// completed yet.
 func (s *Session) SuggestFromLast() (Placement, error) {
 	last := s.Last()
 	if last == nil {
@@ -633,7 +683,7 @@ func (s *Session) SuggestFromLast() (Placement, error) {
 	}
 	works := make([]float64, len(last.Ranks))
 	for i, r := range last.Ranks {
-		works[i] = r.ComputePct
+		works[i] = r.ComputePct / 100 * float64(last.Cycles)
 	}
-	return s.m.opts.Topology.SuggestPlacement(works)
+	return s.m.opts.Topology.SuggestPlacementForJob(s.job, works)
 }

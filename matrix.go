@@ -36,6 +36,14 @@ type MatrixOptions struct {
 	// per CPU, 1 forces serial evaluation.  Results are identical for
 	// every value.
 	Workers int
+	// Screen is forwarded to each cell's SweepOptions.Screen.  Today's
+	// cells sweep a single fixed placement per policy (FixPairing at
+	// medium priority), so a shortlist always covers the whole space and
+	// screening cannot change any entry — which is also why the knob is
+	// safely absent from matrixCellKey; it exists so callers (the serve
+	// API, mtbalance matrix -screen) can thread one screening setting
+	// through uniformly, and so future multi-point cells inherit it.
+	Screen int
 	// Progress, if set, observes cell completions with (done, total)
 	// cell counts.
 	Progress func(done, total int)
@@ -245,7 +253,7 @@ func resolveSpec(spec MatrixSpec) ([]Policy, []Topology, error) {
 // evalCell evaluates one (topology, scenario) cell: every policy over
 // the scenario's job, pinned in order at medium priority, fanned
 // through the sweep worker pool, scored against the static control.
-func (mx *Matrix) evalCell(ctx context.Context, topo Topology, sc Scenario, pols []Policy, workers int) ([]MatrixEntry, error) {
+func (mx *Matrix) evalCell(ctx context.Context, topo Topology, sc Scenario, pols []Policy, workers, screen int) ([]MatrixEntry, error) {
 	m, err := mx.machine(topo)
 	if err != nil {
 		return nil, err
@@ -258,7 +266,7 @@ func (mx *Matrix) evalCell(ctx context.Context, topo Topology, sc Scenario, pols
 		FixPairing: true,
 		Priorities: []Priority{PriorityMedium},
 		Policies:   pols,
-	}, &SweepOptions{Workers: workers})
+	}, &SweepOptions{Workers: workers, Screen: screen})
 	if err != nil {
 		return nil, fmt.Errorf("smtbalance: matrix cell (%s, %s): %w", topo, ScenarioID(sc), err)
 	}
@@ -295,7 +303,7 @@ func (mx *Matrix) evalCell(ctx context.Context, topo Topology, sc Scenario, pols
 // counted as a hit, since no fresh evaluation ran for it), then a real
 // evaluation.  A leader's cancellation is not inherited by a live
 // follower, which retries as the new leader.
-func (mx *Matrix) cell(ctx context.Context, key cacheKey, topo Topology, sc Scenario, pols []Policy, workers int) ([]MatrixEntry, error) {
+func (mx *Matrix) cell(ctx context.Context, key cacheKey, topo Topology, sc Scenario, pols []Policy, workers, screen int) ([]MatrixEntry, error) {
 	for {
 		mx.mu.Lock()
 		entries, cached := mx.cells[key]
@@ -332,7 +340,7 @@ func (mx *Matrix) cell(ctx context.Context, key cacheKey, topo Topology, sc Scen
 				return nil, ctx.Err()
 			}
 		}
-		entries, err := mx.evalCell(ctx, topo, sc, pols, workers)
+		entries, err := mx.evalCell(ctx, topo, sc, pols, workers, screen)
 		if err == nil {
 			mx.putCell(key, entries)
 		}
@@ -371,7 +379,7 @@ func (mx *Matrix) Eval(ctx context.Context, spec MatrixSpec, opts *MatrixOptions
 		for _, topo := range topos {
 			for _, sc := range spec.Scenarios {
 				key := matrixCellKey(topo, ScenarioID(sc), polIDs)
-				entries, err := mx.cell(ctx, key, topo, sc, pols, opts.Workers)
+				entries, err := mx.cell(ctx, key, topo, sc, pols, opts.Workers, opts.Screen)
 				if err != nil {
 					yield(MatrixEntry{}, err)
 					return

@@ -1,0 +1,214 @@
+package smtbalance
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestSuggestPlacementErrorsWrapped pins the error contract: every
+// failure path of the placement planner carries the package's
+// "smtbalance:" prefix, including the core.PlanStatic errors that used
+// to escape unwrapped.
+func TestSuggestPlacementErrorsWrapped(t *testing.T) {
+	// Too many ranks for the default 2-core machine.
+	_, err := DefaultTopology().SuggestPlacement([]float64{1, 2, 3, 4, 5, 6})
+	if err == nil {
+		t.Fatal("6 works on the default 2-core topology accepted")
+	}
+	if !strings.HasPrefix(err.Error(), "smtbalance: ") {
+		t.Errorf("too-many-ranks error not wrapped: %q", err)
+	}
+	if !strings.Contains(err.Error(), "exceed") {
+		t.Errorf("too-many-ranks error lost its cause: %q", err)
+	}
+
+	// Odd rank count.
+	_, err = DefaultTopology().SuggestPlacement([]float64{1, 2, 3})
+	if err == nil {
+		t.Fatal("odd rank count accepted")
+	}
+	if !strings.HasPrefix(err.Error(), "smtbalance: ") {
+		t.Errorf("odd-count error not wrapped: %q", err)
+	}
+
+	// The job-aware form shares the wrapping.
+	job := demoJob(100, 100)
+	_, err = DefaultTopology().SuggestPlacementForJob(job, []float64{1, 2})
+	if err == nil {
+		t.Fatal("mismatched works length accepted")
+	}
+	if !strings.HasPrefix(err.Error(), "smtbalance: ") {
+		t.Errorf("works-mismatch error not wrapped: %q", err)
+	}
+}
+
+// partnerJob builds 2n ranks where rank 2i and 2i+1 are exchange
+// partners with very different compute loads: the work-ordered plan
+// pairs ranks across the partner structure, while a
+// communication-aware plan keeps partners together.
+func partnerJob(works []int64, bytes int64, iters int) Job {
+	job := Job{Name: "partners"}
+	for r := range works {
+		partner := r ^ 1
+		var prog []Phase
+		for it := 0; it < iters; it++ {
+			prog = append(prog,
+				Compute("fpu", works[r]),
+				Exchange(bytes, partner),
+				Barrier(),
+			)
+		}
+		job.Ranks = append(job.Ranks, prog)
+	}
+	return job
+}
+
+// TestSuggestPlacementForJobOneChipIdentical: with a single chip there
+// is no placement freedom the predictor could exploit, so the job-aware
+// plan must be byte-identical to the work-only plan (which itself is
+// the paper's golden-tested heavy-with-light pairing).
+func TestSuggestPlacementForJobOneChipIdentical(t *testing.T) {
+	works := []float64{40000, 10000, 30000, 8000}
+	job := partnerJob([]int64{40000, 10000, 30000, 8000}, 1<<14, 2)
+	plain, err := DefaultTopology().SuggestPlacement(works)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aware, err := DefaultTopology().SuggestPlacementForJob(job, works)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !placementsEqual(plain, aware) {
+		t.Fatalf("1-chip plans differ: plain %v/%v, job-aware %v/%v",
+			plain.CPU, plain.Priority, aware.CPU, aware.Priority)
+	}
+}
+
+func placementsEqual(a, b Placement) bool {
+	if len(a.CPU) != len(b.CPU) || len(a.Priority) != len(b.Priority) {
+		return false
+	}
+	for i := range a.CPU {
+		if a.CPU[i] != b.CPU[i] || a.Priority[i] != b.Priority[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSuggestPlacementForJobTwoChipRegression reproduces the chip-blind
+// bug: on a 2-chip machine the old heavy-with-lightest plan pairs ranks
+// purely by work order, which for this job places every exchange
+// partner pair on different chips — every exchange pays the cross-chip
+// fabric.  The predictor-based plan must keep all partners on one chip
+// and provably beat the old plan in simulation.
+func TestSuggestPlacementForJobTwoChipRegression(t *testing.T) {
+	topo := twoChips() // 2 chips x 2 cores x 2-way: 8 contexts
+	works64 := []int64{40000, 10000, 39000, 9000, 38000, 8000, 37000, 7000}
+	works := make([]float64, len(works64))
+	for i, w := range works64 {
+		works[i] = float64(w)
+	}
+	job := partnerJob(works64, 1<<15, 4)
+
+	// The pre-fix plan, reconstructed from the work-only static planner
+	// the old SuggestPlacement delegated to verbatim.
+	plan, err := core.PlanStatic(works, topo.Cores(), core.DefaultModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := Placement{CPU: plan.CPU}
+	for _, p := range plan.Prio {
+		old.Priority = append(old.Priority, Priority(p))
+	}
+	chipOf := func(cpu int) int { return cpu / (topo.CoresPerChip * topo.SMTWays) }
+	crossOld := 0
+	for r := 0; r < len(works); r += 2 {
+		if chipOf(old.CPU[r]) != chipOf(old.CPU[r+1]) {
+			crossOld++
+		}
+	}
+	if crossOld == 0 {
+		t.Fatal("test premise broken: the old plan should split exchange partners across chips")
+	}
+
+	suggested, err := topo.SuggestPlacementForJob(job, works)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < len(works); r += 2 {
+		if chipOf(suggested.CPU[r]) != chipOf(suggested.CPU[r+1]) {
+			t.Errorf("partners %d,%d still split across chips: CPUs %d,%d",
+				r, r+1, suggested.CPU[r], suggested.CPU[r+1])
+		}
+	}
+
+	m, err := NewMachine(&Options{Topology: topo, NoOSNoise: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	oldRes, err := m.Run(ctx, job, old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newRes, err := m.Run(ctx, job, suggested)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newRes.Cycles >= oldRes.Cycles {
+		t.Fatalf("job-aware plan (%d cycles) does not beat the chip-blind plan (%d cycles)",
+			newRes.Cycles, oldRes.Cycles)
+	}
+}
+
+// TestSessionSuggestFromLastCommAware: the session knows its job, so
+// SuggestFromLast must route through the job-aware planner — on a
+// 2-chip machine its suggestion keeps exchange partners off the
+// cross-chip fabric even though the profile works alone cannot see the
+// exchange structure.
+func TestSessionSuggestFromLastCommAware(t *testing.T) {
+	topo := twoChips()
+	job := partnerJob([]int64{40000, 10000, 39000, 9000, 38000, 8000, 37000, 7000}, 1<<15, 4)
+	m, err := NewMachine(&Options{Topology: topo, NoOSNoise: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.NewSession(job)
+	if _, err := s.SuggestFromLast(); err == nil {
+		t.Fatal("SuggestFromLast before any run accepted")
+	}
+	pl, err := topo.PinInOrder(len(job.Ranks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := s.Run(context.Background(), pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suggested, err := s.SuggestFromLast()
+	if err != nil {
+		t.Fatal(err)
+	}
+	chipOf := func(cpu int) int { return cpu / (topo.CoresPerChip * topo.SMTWays) }
+	for r := 0; r < len(job.Ranks); r += 2 {
+		if chipOf(suggested.CPU[r]) != chipOf(suggested.CPU[r+1]) {
+			t.Errorf("partners %d,%d split across chips: CPUs %d,%d",
+				r, r+1, suggested.CPU[r], suggested.CPU[r+1])
+		}
+	}
+	res, err := s.m.Run(context.Background(), job, suggested)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles >= base.Cycles {
+		t.Errorf("suggestion (%d cycles) does not beat pin-in-order (%d)", res.Cycles, base.Cycles)
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Error("unexpected cancellation")
+	}
+}

@@ -96,6 +96,22 @@ type SweepOptions struct {
 	// Top truncates the ranking to the best K configurations; 0 keeps
 	// everything.
 	Top int
+	// Screen, when positive, turns the sweep into a two-level coarse →
+	// fine search: every placement × priority point is first ranked by
+	// the analytical cost predictor (decode-share curves plus the
+	// machine's communication tiers — no simulation), and only the
+	// Screen best-predicted points, a guard band of the next ones, and
+	// the predictions tied with the band's cutoff are simulated.  The
+	// simulated shortlist ranks exactly as the exhaustive sweep ranks
+	// those same configurations — identical runs, identical cache keys,
+	// identical tie-breaking — so screening trades coverage of the
+	// space's (predicted) losers for wall-clock, never score fidelity.
+	// The winner matches the exhaustive sweep's whenever the predictor
+	// ranks it within the frontier, which holds for the golden workloads
+	// (see docs/perf.md for the recorded gate).  0, the default, sweeps
+	// exhaustively.  Sweeps with a policy axis screen the placement
+	// points once and evaluate the shortlist under every policy.
+	Screen int
 	// Objective scores each run; the zero value minimizes cycles.
 	Objective Objective
 	// Run is the per-run simulation environment — only consulted by the
@@ -139,6 +155,11 @@ type SweepResult struct {
 	Entries []SweepEntry
 	// Evaluated is the number of configurations run.
 	Evaluated int
+	// Screened is the number of placement × priority points the
+	// analytical predictor eliminated before simulation (times the
+	// policy-axis width, when one was swept); 0 on exhaustive sweeps.
+	// Evaluated + Screened is the full space size.
+	Screened int
 	// Workers is the pool size actually used.
 	Workers int
 }

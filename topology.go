@@ -6,7 +6,10 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/hwpri"
+	"repro/internal/mpisim"
 	"repro/internal/power5"
+	"repro/internal/sweep"
 )
 
 // Topology describes the simulated machine as chips × cores-per-chip ×
@@ -102,22 +105,128 @@ func (t Topology) PinInOrder(n int) (Placement, error) {
 // topology from per-rank work estimates: the heaviest rank is paired
 // with the lightest on the same core and each pair's priority difference
 // is chosen with the decode-share performance model — the paper's
-// by-hand procedure, generalized so the pairing spreads across every
-// core of a multi-chip node.
+// by-hand procedure, generalized to multi-chip nodes.  On one chip the
+// plan is exactly the paper's (heavy-with-light in work order); on
+// several chips the candidate pairings and pair → core maps are scored
+// with the analytical cost predictor and the best-predicted plan wins,
+// so the placement accounts for the decode shares even when work alone
+// cannot separate candidates.  With only work estimates the predictor
+// cannot see communication; SuggestPlacementForJob adds the job's
+// exchange structure, keeping ranks that exchange heavily on the same
+// core or chip (the cross-chip exchange tier is ~3× the on-chip one).
 func (t Topology) SuggestPlacement(works []float64) (Placement, error) {
 	t = t.normalized()
 	if err := t.Validate(); err != nil {
 		return Placement{}, fmt.Errorf("smtbalance: %w", err)
 	}
-	plan, err := core.PlanStatic(works, t.Cores(), core.DefaultModel())
+	return t.suggest(works, nil)
+}
+
+// SuggestPlacementForJob is SuggestPlacement informed by the job's
+// communication structure: on multi-chip topologies the candidate
+// pairings and core maps are ranked by the analytical cost predictor
+// over the job's exchange phases and the machine's communication tiers,
+// so tightly coupled ranks are not split across the cross-chip fabric
+// when an equally balanced co-located plan exists.  works estimates
+// each rank's compute (any consistent unit); nil derives the estimates
+// from the job's own compute phases (instruction totals), which also
+// makes the compute and communication terms directly comparable.  On a
+// single chip the result is identical to SuggestPlacement(works).
+func (t Topology) SuggestPlacementForJob(job Job, works []float64) (Placement, error) {
+	t = t.normalized()
+	if err := t.Validate(); err != nil {
+		return Placement{}, fmt.Errorf("smtbalance: %w", err)
+	}
+	loads := sweep.RankLoads(job.inner())
+	if works == nil {
+		works = make([]float64, len(loads))
+		for i, l := range loads {
+			works[i] = l.Compute
+		}
+	}
+	if len(works) != len(job.Ranks) {
+		return Placement{}, fmt.Errorf("smtbalance: %d work estimates for a %d-rank job", len(works), len(job.Ranks))
+	}
+	return t.suggest(works, loads)
+}
+
+// suggestSearchCap bounds the multi-chip candidate search (pairings ×
+// core maps).  Beyond it — double factorials grow fast — the search
+// falls back to the work-ordered plan, which is always valid.
+const suggestSearchCap = 4096
+
+// suggest builds the plan: PlanStatic's heavy-with-light pairing seeds
+// the answer (and is final on a single chip, byte for byte), then on
+// multi-chip machines every candidate pairing × core map within the
+// search cap is scored with the cost predictor and a strictly
+// better-predicted plan replaces the seed.  loads carries the per-rank
+// program summaries for the predictor's compute and communication
+// terms; nil predicts from works alone (no communication term).
+func (t Topology) suggest(works []float64, loads []core.RankLoad) (Placement, error) {
+	model := core.DefaultModel()
+	plan, err := core.PlanStatic(works, t.Cores(), model)
 	if err != nil {
-		return Placement{}, err
+		return Placement{}, fmt.Errorf("smtbalance: %w", err)
 	}
-	pl := Placement{CPU: plan.CPU}
+	seed := Placement{CPU: plan.CPU}
 	for _, p := range plan.Prio {
-		pl.Priority = append(pl.Priority, Priority(p))
+		seed.Priority = append(seed.Priority, Priority(p))
 	}
-	return pl, nil
+	if t.Chips == 1 {
+		return seed, nil
+	}
+	n := len(works)
+	candidates := 1 // (n-1)!! pairings, capped early to avoid overflow
+	for k := n - 1; k > 1 && candidates <= suggestSearchCap; k -= 2 {
+		candidates *= k
+	}
+	itopo := t.inner()
+	asgs, err := sweep.CoreAssignments(n/2, itopo)
+	if err != nil || candidates > suggestSearchCap/len(asgs) {
+		return seed, nil
+	}
+	if loads == nil {
+		loads = make([]core.RankLoad, n)
+		for i, w := range works {
+			loads[i].Compute = w
+		}
+	}
+	comm := mpisim.TopologyCommLatency(itopo)
+	predict := func(pl Placement) float64 {
+		prio := make([]hwpri.Priority, len(pl.Priority))
+		for i, p := range pl.Priority {
+			prio[i] = hwpri.Priority(p)
+		}
+		return model.PredictCycles(loads, pl.CPU, prio, comm)
+	}
+	best, bestCost := seed, predict(seed)
+	for _, pairing := range sweep.Pairings(n) {
+		// Each pair keeps the paper's per-core plan: the heavier rank is
+		// favored by the difference PlanPair picks from the works.
+		prio := make([]hwpri.Priority, n)
+		for _, pair := range pairing {
+			heavy, light := pair[0], pair[1]
+			if works[light] > works[heavy] {
+				heavy, light = light, heavy
+			}
+			pp := core.PlanPair(works[heavy], works[light], model)
+			prio[heavy], prio[light] = pp.HeavyPrio, pp.LightPrio
+		}
+		for _, asg := range asgs {
+			ipl := sweep.Point{Pairing: pairing, Cores: asg, Prio: prio}.Placement()
+			cand := Placement{CPU: ipl.CPU}
+			for _, p := range ipl.Prio {
+				cand.Priority = append(cand.Priority, Priority(p))
+			}
+			// Strictly better only: ties keep the earlier candidate (the
+			// paper's plan first), so the search is deterministic and the
+			// predictor's blind spots never churn the suggestion.
+			if cost := predict(cand); cost < bestCost {
+				best, bestCost = cand, cost
+			}
+		}
+	}
+	return best, nil
 }
 
 // ParsePlacement parses a placement string for the topology: one
